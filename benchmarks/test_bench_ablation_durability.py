@@ -1,0 +1,91 @@
+"""[A3] Supplementary ablation: durability machinery.
+
+Not a paper artefact — the paper's database runs on a commercial DBMS —
+but the reproduction's engine carries its own WAL/checkpoint machinery,
+and its cost profile belongs in the record: what does durability cost per
+statement, and what does recovery cost per logged transaction?
+
+Expected shape: WAL appends add a small constant per statement; recovery
+time scales linearly with the log; checkpointing collapses recovery to
+near-constant.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.sqldb import Database
+
+N_ROWS = 500
+
+
+def _populate(db) -> float:
+    start = time.perf_counter()
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v VARCHAR(20))")
+    for i in range(N_ROWS):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, f"value-{i}"))
+    return time.perf_counter() - start
+
+
+def test_bench_a3_wal_overhead(benchmark, tmp_path):
+    def measure():
+        memory = Database()
+        memory_cost = _populate(memory)
+        durable = Database(str(tmp_path / "wal"))
+        durable_cost = _populate(durable)
+        return memory_cost, durable_cost
+
+    memory_cost, durable_cost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = PaperTable(
+        "A3",
+        f"Durability overhead: {N_ROWS} inserts",
+        ["configuration", "total", "per-row"],
+    )
+    table.add_row("in-memory", f"{memory_cost * 1000:.1f} ms",
+                  f"{memory_cost / N_ROWS * 1e6:.0f} us")
+    table.add_row("WAL (no fsync)", f"{durable_cost * 1000:.1f} ms",
+                  f"{durable_cost / N_ROWS * 1e6:.0f} us")
+    table.show()
+    # logging costs something but stays the same order of magnitude
+    assert durable_cost < memory_cost * 25
+
+
+def test_bench_a3_recovery_scales_with_log(benchmark, tmp_path):
+    def measure():
+        out = []
+        for rows in (100, 500, 2000):
+            d = str(tmp_path / f"r{rows}")
+            db = Database(d)
+            db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v VARCHAR(20))")
+            for i in range(rows):
+                db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
+            start = time.perf_counter()
+            recovered = Database(d)
+            replay = time.perf_counter() - start
+            assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == rows
+            recovered.checkpoint()
+            start = time.perf_counter()
+            after_checkpoint = Database(d)
+            from_checkpoint = time.perf_counter() - start
+            assert after_checkpoint.execute(
+                "SELECT COUNT(*) FROM t"
+            ).scalar() == rows
+            out.append((rows, replay, from_checkpoint))
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = PaperTable(
+        "A3b",
+        "Recovery time: WAL replay vs checkpoint load",
+        ["rows", "replay", "from checkpoint"],
+    )
+    for rows, replay, from_checkpoint in results:
+        table.add_row(rows, f"{replay * 1000:.1f} ms",
+                      f"{from_checkpoint * 1000:.1f} ms")
+    table.show()
+
+    # replay grows with the log (20x rows -> clearly more time)
+    assert results[-1][1] > results[0][1]
+    # checkpoint load beats replay at the largest size
+    assert results[-1][2] < results[-1][1]

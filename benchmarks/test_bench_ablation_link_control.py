@@ -1,0 +1,137 @@
+"""[A2] Ablation: DATALINK integrity options.
+
+What do the SQL/MED guarantees cost?  This ablation compares INSERT and
+SELECT throughput across the option ladder:
+
+* ``NO LINK CONTROL`` — the URL is stored unverified,
+* ``FILE LINK CONTROL`` + ``READ PERMISSION FS`` — existence check and
+  rename/delete blocking, but no tokens,
+* ``FILE LINK CONTROL`` + ``READ PERMISSION DB`` — everything, plus an
+  HMAC token attached to every SELECTed value.
+
+Expected shape: link control adds a bounded constant per INSERT (one
+existence check + one pending-link record); READ PERMISSION DB adds a
+token issue per SELECTed row.  Neither depends on file size.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.datalink import DataLinker, TokenManager
+from repro.fileserver import FileServer
+from repro.sqldb import Database
+
+N_ROWS = 200
+
+_VARIANTS = {
+    "NO LINK CONTROL": "LINKTYPE URL NO LINK CONTROL",
+    "LINK CONTROL + FS": (
+        "LINKTYPE URL FILE LINK CONTROL INTEGRITY ALL READ PERMISSION FS "
+        "WRITE PERMISSION FS RECOVERY NO ON UNLINK RESTORE"
+    ),
+    "LINK CONTROL + DB": (
+        "LINKTYPE URL FILE LINK CONTROL INTEGRITY ALL READ PERMISSION DB "
+        "WRITE PERMISSION BLOCKED RECOVERY YES ON UNLINK RESTORE"
+    ),
+}
+
+
+def _setup(options: str):
+    linker = DataLinker(TokenManager(secret=b"a2", time_source=lambda: 0.0))
+    server = linker.register_server(FileServer("fs.bench"))
+    for i in range(N_ROWS):
+        server.put(f"/data/f{i}.bin", b"x" * 64)
+    db = Database()
+    db.set_datalink_hooks(linker)
+    db.execute(f"CREATE TABLE F (K INTEGER PRIMARY KEY, D DATALINK {options})")
+    return db
+
+
+def _insert_all(db) -> float:
+    start = time.perf_counter()
+    for i in range(N_ROWS):
+        db.execute(
+            "INSERT INTO F VALUES (?, ?)", (i, f"http://fs.bench/data/f{i}.bin")
+        )
+    return time.perf_counter() - start
+
+
+def _select_all(db) -> float:
+    start = time.perf_counter()
+    result = db.execute("SELECT D FROM F")
+    elapsed = time.perf_counter() - start
+    assert len(result.rows) == N_ROWS
+    return elapsed
+
+
+def test_bench_a2_link_control_ablation(benchmark):
+    def measure():
+        out = {}
+        for label, options in _VARIANTS.items():
+            db = _setup(options)
+            insert = _insert_all(db)
+            select = _select_all(db)
+            tokenised = db.execute("SELECT D FROM F LIMIT 1").scalar().token
+            out[label] = (insert, select, tokenised is not None)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = PaperTable(
+        "A2",
+        f"DATALINK option ladder: {N_ROWS} inserts + full-table SELECT",
+        ["options", "insert total", "per-row", "select total", "tokens?"],
+    )
+    for label, (insert, select, tokenised) in results.items():
+        table.add_row(
+            label,
+            f"{insert * 1000:.1f} ms",
+            f"{insert / N_ROWS * 1e6:.0f} us",
+            f"{select * 1000:.1f} ms",
+            "yes" if tokenised else "no",
+        )
+    table.show()
+
+    no_control = results["NO LINK CONTROL"]
+    fs = results["LINK CONTROL + FS"]
+    db_perm = results["LINK CONTROL + DB"]
+    # Only READ PERMISSION DB attaches tokens.
+    assert not no_control[2] and not fs[2] and db_perm[2]
+    # The guarantees cost a bounded constant: well under 20x on inserts.
+    assert db_perm[0] < no_control[0] * 20
+    # Token issuing costs something on SELECT but stays the same order.
+    assert db_perm[1] < no_control[1] * 50
+
+
+def test_bench_a2_integrity_enforcement_not_free_to_skip(benchmark):
+    """What NO LINK CONTROL gives up: a linked file is protected from
+    deletion; an uncontrolled file silently disappears."""
+    from repro.errors import FileLockedError
+
+    def scenario():
+        linker = DataLinker(TokenManager(secret=b"a2", time_source=lambda: 0.0))
+        server = linker.register_server(FileServer("fs.bench"))
+        server.put("/data/ctl.bin", b"x")
+        server.put("/data/free.bin", b"x")
+        db = Database()
+        db.set_datalink_hooks(linker)
+        db.execute(
+            "CREATE TABLE C (K INTEGER PRIMARY KEY, D DATALINK "
+            + _VARIANTS["LINK CONTROL + DB"] + ")"
+        )
+        db.execute("CREATE TABLE N (K INTEGER PRIMARY KEY, D DATALINK LINKTYPE URL NO LINK CONTROL)")
+        db.execute("INSERT INTO C VALUES (1, 'http://fs.bench/data/ctl.bin')")
+        db.execute("INSERT INTO N VALUES (1, 'http://fs.bench/data/free.bin')")
+        protected = False
+        try:
+            server.filesystem.delete("/data/ctl.bin")
+        except FileLockedError:
+            protected = True
+        server.filesystem.delete("/data/free.bin")  # dangling reference now
+        return protected, server.filesystem.exists("/data/free.bin")
+
+    protected, free_exists = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert protected
+    assert not free_exists

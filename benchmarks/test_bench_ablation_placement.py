@@ -1,0 +1,76 @@
+"""[A1] Ablation: archive-where-generated.
+
+DESIGN.md calls out data placement as the architecture's central design
+choice.  This ablation varies the fraction of datasets archived at their
+generating site (the rest are shipped to the central archive) and reports
+wide-area bytes for the archive phase plus a post-processing phase in
+which every dataset is reduced server-side and only results ship.
+
+Expected shape: WAN bytes fall monotonically as the locally-archived
+fraction rises; at fraction 1.0 the archive phase costs only metadata.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.netsim import MBYTE, Network, SimClock, TransferEngine, paper_profile
+from repro.netsim.topology import Host, Link
+
+N_DATASETS = 10
+DATASET_BYTES = 85 * MBYTE
+RESULT_BYTES = 64 * 1024  # a slice image / stats document
+METADATA_BYTES = 1024
+
+
+def _run(fraction_local: float) -> tuple[int, float]:
+    network = Network.paper_topology(remote_sites=("qmw.london",))
+    network.add_host(Host("fs.qmw.london", role="file_server"))
+    network.add_link(
+        Link(
+            "fs.qmw.london", "qmw.london",
+            profile_ab=paper_profile("from_southampton"),
+            profile_ba=paper_profile("to_southampton"),
+        )
+    )
+    engine = TransferEngine(network, SimClock(start_hour=10.0))
+    n_local = round(N_DATASETS * fraction_local)
+    for i in range(N_DATASETS):
+        if i < n_local:
+            engine.transfer("qmw.london", "qmw.london", DATASET_BYTES, "archive-local")
+        else:
+            engine.transfer("qmw.london", "southampton", DATASET_BYTES, "ship-central")
+        engine.transfer("qmw.london", "southampton", METADATA_BYTES, "metadata")
+    # post-processing phase: each dataset is reduced where it lives and the
+    # result ships to the user at qmw
+    for i in range(N_DATASETS):
+        source = "fs.qmw.london" if i < n_local else "southampton"
+        engine.transfer(source, "qmw.london", RESULT_BYTES, "result")
+    return engine.total_wan_bytes(), engine.clock.now
+
+
+def test_bench_a1_placement_ablation(benchmark):
+    fractions = (0.0, 0.25, 0.5, 0.75, 1.0)
+    results = benchmark(lambda: {f: _run(f) for f in fractions})
+
+    table = PaperTable(
+        "A1",
+        f"Ablation: fraction of {N_DATASETS} datasets archived where "
+        "generated (archive + post-process workflow)",
+        ["local fraction", "WAN bytes", "WAN MB", "wall time"],
+    )
+    from repro.netsim import format_duration
+
+    for fraction, (wan, elapsed) in results.items():
+        table.add_row(
+            f"{fraction:.0%}", wan, f"{wan / MBYTE:.1f}",
+            format_duration(elapsed),
+        )
+    table.show()
+
+    byte_series = [results[f][0] for f in fractions]
+    # strictly decreasing in the locally-archived fraction
+    assert all(a > b for a, b in zip(byte_series, byte_series[1:]))
+    # fully local: only metadata and results cross the WAN
+    assert byte_series[-1] == N_DATASETS * (METADATA_BYTES + RESULT_BYTES)
+    # fully central: every dataset crossed once, dominating everything else
+    assert byte_series[0] > N_DATASETS * DATASET_BYTES

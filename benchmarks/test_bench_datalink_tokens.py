@@ -1,0 +1,97 @@
+"""[F4] DATALINK browsing: encrypted, expiring access tokens.
+
+The "DATALINK browsing" figure: a SELECT yields a token-prefixed URL, the
+file server validates the token offline, and tokens expire after the
+configured interval.  This bench measures the token machinery's cost —
+issue, validate, and the full SELECT-with-decoration path — and verifies
+the expiry sweep behaviour.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.datalink import TokenManager
+from repro.errors import TokenExpiredError
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_bench_fig4_token_issue(benchmark):
+    tm = TokenManager(secret=b"bench", validity_seconds=600, time_source=_Clock())
+    token = benchmark(lambda: tm.issue("fs1.soton.ac.uk/data/ts0001.turb"))
+    assert "." in token
+
+
+def test_bench_fig4_token_validate(benchmark):
+    clock = _Clock()
+    tm = TokenManager(secret=b"bench", validity_seconds=600, time_source=clock)
+    scope = "fs1.soton.ac.uk/data/ts0001.turb"
+    token = tm.issue(scope)
+    assert benchmark(lambda: tm.validate(scope, token))
+
+
+def test_bench_fig4_select_with_decoration(benchmark, archive):
+    """The user-visible path: SELECT on RESULT_FILE attaches a fresh token
+    and the file size to every DATALINK value."""
+    result = benchmark(
+        lambda: archive.db.execute(
+            "SELECT FILE_NAME, DOWNLOAD_RESULT FROM RESULT_FILE"
+        )
+    )
+    for _name, value in result.rows:
+        assert value.token is not None
+        assert value.size is not None
+
+
+def test_bench_fig4_expiry_sweep(benchmark):
+    """Tokens are valid strictly within their configured lifetime."""
+    clock = _Clock()
+    tm = TokenManager(secret=b"bench", validity_seconds=60, time_source=clock)
+    scope = "fs1.soton.ac.uk/data/f"
+
+    def sweep():
+        clock.now = 0.0
+        token = tm.issue(scope)
+        outcomes = []
+        for offset in (0.0, 30.0, 59.0, 61.0, 3600.0):
+            clock.now = offset
+            try:
+                tm.validate(scope, token)
+                outcomes.append((offset, "valid"))
+            except TokenExpiredError:
+                outcomes.append((offset, "expired"))
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    table = PaperTable(
+        "F4",
+        "Access-token expiry sweep (validity 60 s)",
+        ["age (s)", "outcome"],
+    )
+    for offset, outcome in outcomes:
+        table.add_row(offset, outcome)
+    table.show()
+
+    assert outcomes == [
+        (0.0, "valid"), (30.0, "valid"), (59.0, "valid"),
+        (61.0, "expired"), (3600.0, "expired"),
+    ]
+
+
+def test_bench_fig4_end_to_end_download(benchmark, archive):
+    """SELECT -> tokenized URL -> file server serves after offline
+    validation.  This is the complete DATALINK-browsing figure."""
+    def journey():
+        value = archive.db.execute(
+            "SELECT DOWNLOAD_RESULT FROM RESULT_FILE LIMIT 1"
+        ).scalar()
+        return archive.linker.download(value)
+
+    data = benchmark(journey)
+    assert data[:4] == b"TURB"

@@ -1,0 +1,118 @@
+"""[F1] The "Bandwidth Problems" figures.
+
+The paper's two problem diagrams: (1) uploading large datasets from the
+generating site to a central archive, (2) downloading them back to users.
+EASIA's answer is "archive data where it is generated" + DATALINKs.
+
+This bench replays an archive-and-share workflow under both designs on
+the measured Southampton topology and reports wide-area bytes moved and
+wall-clock time.  Expected shape: the distributed archive moves ~half the
+bytes when every dataset is consumed once (and *none* up front), with the
+gap widening as the consumer fraction drops.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.netsim import MBYTE, Network, SimClock, TransferEngine, paper_profile
+from repro.netsim.topology import Host, Link
+
+N_DATASETS = 8
+DATASET_BYTES = 85 * MBYTE  # the paper's "small simulation" size
+
+
+def _topology() -> Network:
+    """Generating/user site qmw.london plus the Southampton archive."""
+    return Network.paper_topology(remote_sites=("qmw.london",))
+
+
+def _centralised(consume_fraction: float) -> tuple[int, float]:
+    """Datasets generated at QMW are uploaded to Southampton; consumers at
+    QMW then download the ones they need."""
+    engine = TransferEngine(_topology(), SimClock(start_hour=10.0))
+    for i in range(N_DATASETS):
+        engine.transfer("qmw.london", "southampton", DATASET_BYTES, f"upload {i}")
+    consumed = int(N_DATASETS * consume_fraction)
+    for i in range(consumed):
+        engine.transfer("southampton", "qmw.london", DATASET_BYTES, f"download {i}")
+    return engine.total_wan_bytes(), engine.clock.now
+
+
+def _distributed(consume_fraction: float) -> tuple[int, float]:
+    """EASIA: datasets stay on a file server at the generating site; the
+    database at Southampton only holds metadata.  Consumers at the same
+    site read locally."""
+    network = _topology()
+    network.add_host(Host("fs.qmw.london", role="file_server"))
+    network.add_link(
+        Link(
+            "fs.qmw.london", "qmw.london",
+            # same campus: fast local link
+            profile_ab=paper_profile("from_southampton"),
+            profile_ba=paper_profile("to_southampton"),
+        )
+    )
+    engine = TransferEngine(network, SimClock(start_hour=10.0))
+    for i in range(N_DATASETS):
+        # archive where generated: a local copy onto the site file server
+        engine.transfer("qmw.london", "qmw.london", DATASET_BYTES, f"archive {i}")
+        # only ~1 KB of metadata crosses to the database host
+        engine.transfer("qmw.london", "southampton", 1024, f"metadata {i}")
+    consumed = int(N_DATASETS * consume_fraction)
+    for i in range(consumed):
+        engine.transfer("fs.qmw.london", "qmw.london", DATASET_BYTES, f"serve {i}")
+    return engine.total_wan_bytes(), engine.clock.now
+
+
+def test_bench_fig1_bandwidth_problems(benchmark):
+    def run_all():
+        out = {}
+        for fraction in (1.0, 0.5, 0.25):
+            out[fraction] = (_centralised(fraction), _distributed(fraction))
+        return out
+
+    results = benchmark(run_all)
+
+    table = PaperTable(
+        "F1",
+        "Centralised upload/download vs EASIA distributed archive "
+        f"({N_DATASETS} x 85 MB datasets)",
+        ["consumed", "central bytes", "central time", "EASIA bytes",
+         "EASIA time", "byte ratio"],
+    )
+    from repro.netsim import format_duration
+
+    for fraction, ((c_bytes, c_time), (d_bytes, d_time)) in results.items():
+        ratio = c_bytes / d_bytes if d_bytes else float("inf")
+        table.add_row(
+            f"{fraction:.0%}",
+            f"{c_bytes / MBYTE:.0f} MB",
+            format_duration(c_time),
+            f"{d_bytes / MBYTE:.0f} MB",
+            format_duration(d_time),
+            f"{ratio:.1f}x",
+        )
+    table.show()
+
+    # Shape assertions: the distributed design always moves fewer wide-area
+    # bytes; at 100% consumption the ratio approaches 2x (upload+download vs
+    # serve-only), and it grows as the consumed fraction falls.
+    (c100, _), (d100, _) = results[1.0]
+    (c25, _), (d25, _) = results[0.25]
+    assert d100 < c100
+    assert c100 / d100 == pytest.approx(2.0, rel=0.05)
+    assert (c25 / d25) > (c100 / d100)
+
+
+def test_bench_fig1_first_problem_upload_cost(benchmark):
+    """The 'first problem' figure alone: shipping one large simulation to
+    the central archive takes hours at the measured day rate, while the
+    EASIA archive step is local (zero WAN seconds)."""
+    engine = TransferEngine(_topology(), SimClock(start_hour=10.0))
+
+    upload_seconds = benchmark(
+        lambda: engine.duration("qmw.london", "southampton", 544 * MBYTE)
+    )
+    local_seconds = engine.duration("qmw.london", "qmw.london", 544 * MBYTE)
+    assert upload_seconds > 4 * 3600  # the paper's 4h50m08s
+    assert local_seconds == 0.0

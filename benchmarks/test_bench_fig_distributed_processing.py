@@ -1,0 +1,126 @@
+"""[F3] Distributed processing capability.
+
+Paper: "Each machine provides a distributed processing capability that
+allows multiple datasets to be post-processed simultaneously" and "data
+distribution can reduce access bottlenecks at individual sites".
+
+The bench spreads K datasets over M in {1, 2, 4} file servers and models
+the makespan of post-processing all of them: each server works through
+its local datasets sequentially (at its compute rate), servers run in
+parallel.  Per-dataset cost is grounded in *measured* engine invocations.
+Expected shape: makespan scales ~1/M while per-dataset cost dominates.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.turbulence import build_turbulence_archive
+
+K_DATASETS = 8
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+def _measured_per_dataset_cost(engine, rows) -> float:
+    """Ground truth: the mean measured FieldStats time on this machine."""
+    costs = []
+    for row in rows:
+        result = engine.invoke("FieldStats", COLID, row, use_cache=False)
+        costs.append(result.elapsed)
+    return sum(costs) / len(costs)
+
+
+def _makespan(n_servers: int, per_dataset_cost: float) -> float:
+    """Each server processes its local share sequentially; servers run in
+    parallel, so the makespan is the largest share."""
+    shares = [0] * n_servers
+    for i in range(K_DATASETS):
+        shares[i % n_servers] += 1
+    return max(shares) * per_dataset_cost
+
+
+def test_bench_fig3_distributed_processing(benchmark, sandbox_root):
+    archive = build_turbulence_archive(
+        n_simulations=4, timesteps=2, grid=12, n_file_servers=2
+    )
+    engine = archive.make_engine(f"{sandbox_root}/f3")
+    rows = archive.result_rows()
+    per_dataset = benchmark.pedantic(
+        lambda: _measured_per_dataset_cost(engine, rows),
+        rounds=3, iterations=1,
+    )
+
+    table = PaperTable(
+        "F3",
+        f"Post-processing {K_DATASETS} datasets across M file servers "
+        f"(measured per-dataset cost {per_dataset * 1000:.1f} ms)",
+        ["servers", "makespan", "speedup vs 1 server"],
+    )
+    baseline = _makespan(1, per_dataset)
+    speedups = {}
+    for m in (1, 2, 4, 8):
+        makespan = _makespan(m, per_dataset)
+        speedups[m] = baseline / makespan
+        table.add_row(m, f"{makespan * 1000:.1f} ms", f"{speedups[m]:.2f}x")
+    table.show()
+
+    # Shape: near-linear scaling when shares divide evenly.
+    assert speedups[2] == pytest.approx(2.0)
+    assert speedups[4] == pytest.approx(4.0)
+    assert speedups[8] == pytest.approx(8.0)
+
+
+def test_bench_fig3_access_bottleneck(benchmark):
+    """Access-bottleneck view, simulated with the fair-share scheduler:
+    concurrent downloads of distinct datasets contend for a single
+    archive's link but run in parallel from distributed servers."""
+    from repro.netsim import (
+        MBYTE,
+        BandwidthProfile,
+        ConcurrentScheduler,
+        Flow,
+        Host,
+        Link,
+        Network,
+        SimClock,
+        format_duration,
+    )
+
+    dataset = 85 * MBYTE
+    rate = 1.94  # evening, serving from the archive's site
+
+    def simulate():
+        central = Network()
+        central.add_host(Host("archive"))
+        for i in range(K_DATASETS):
+            central.add_host(Host(f"user{i}"))
+            central.add_link(
+                Link("archive", f"user{i}", BandwidthProfile.constant(rate))
+            )
+        centralised = ConcurrentScheduler(central, SimClock()).run(
+            [Flow("archive", f"user{i}", dataset) for i in range(K_DATASETS)]
+        )
+
+        spread = Network()
+        for i in range(K_DATASETS):
+            spread.add_host(Host(f"server{i}"))
+            spread.add_host(Host(f"user{i}"))
+            spread.add_link(
+                Link(f"server{i}", f"user{i}", BandwidthProfile.constant(rate))
+            )
+        distributed = ConcurrentScheduler(spread, SimClock()).run(
+            [Flow(f"server{i}", f"user{i}", dataset) for i in range(K_DATASETS)]
+        )
+        return centralised, distributed
+
+    centralised, distributed = benchmark(simulate)
+    table = PaperTable(
+        "F3b",
+        f"Serving {K_DATASETS} concurrent 85 MB downloads "
+        "(evening rate, fair-share simulation)",
+        ["design", "time to deliver all"],
+    )
+    table.add_row("single archive site", format_duration(centralised))
+    table.add_row(f"{K_DATASETS} distributed servers", format_duration(distributed))
+    table.show()
+
+    assert centralised == pytest.approx(distributed * K_DATASETS, rel=1e-6)

@@ -1,0 +1,114 @@
+"""[F2] Server-side post-processing as data reduction.
+
+The paper's headline benefit: "Suitable user-directed post-processing,
+such as array slicing and visualisation, can significantly reduce the
+amount of data that needs to be shipped back to the user."
+
+This bench sweeps the grid size and compares the bytes a user receives
+from (a) downloading the raw dataset, (b) GetImage (one slice rendered as
+an image — O(n^2) of an O(n^3) dataset), (c) FieldStats (O(1)), plus the
+wide-area time saved at the measured day rate.  Expected shape: the
+reduction factor for GetImage grows linearly with n; FieldStats is
+flat-size.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.netsim import MBYTE, transfer_seconds, format_duration
+from repro.turbulence import build_turbulence_archive
+
+GRIDS = (8, 16, 32)
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+def _measure(grid: int, sandbox_root: str) -> dict:
+    archive = build_turbulence_archive(
+        n_simulations=1, timesteps=1, grid=grid, n_file_servers=1
+    )
+    engine = archive.make_engine(f"{sandbox_root}/g{grid}")
+    row = archive.result_rows()[0]
+    raw = row["RESULT_FILE.FILE_SIZE"]
+    image = engine.invoke(
+        "GetImage", COLID, row, {"slice": "x1", "type": "u"}, use_cache=False
+    )
+    stats = engine.invoke("FieldStats", COLID, row, use_cache=False)
+    return {
+        "grid": grid,
+        "raw": raw,
+        "image": image.output_bytes,
+        "stats": stats.output_bytes,
+        "image_factor": image.reduction_factor,
+        "stats_factor": stats.reduction_factor,
+    }
+
+
+def test_bench_fig2_operations_reduction(benchmark, sandbox_root):
+    results = benchmark.pedantic(
+        lambda: [_measure(grid, sandbox_root) for grid in GRIDS],
+        rounds=1, iterations=1,
+    )
+
+    table = PaperTable(
+        "F2",
+        "Data shipped to the user: raw download vs server-side operations "
+        "(day rate 0.37 Mbit/s)",
+        ["grid", "raw bytes", "GetImage bytes", "reduction",
+         "FieldStats bytes", "raw xfer time", "GetImage xfer time"],
+    )
+    for r in results:
+        table.add_row(
+            f"{r['grid']}^3",
+            r["raw"],
+            r["image"],
+            f"{r['image_factor']:.0f}x",
+            r["stats"],
+            format_duration(transfer_seconds(r["raw"], 0.37)),
+            format_duration(transfer_seconds(r["image"], 0.37)),
+        )
+    table.show()
+
+    # Shape: slicing is O(n^2) of O(n^3) — the factor grows ~linearly in n.
+    factors = [r["image_factor"] for r in results]
+    assert factors[1] > factors[0] * 1.5
+    assert factors[2] > factors[1] * 1.5
+    # FieldStats output is essentially constant-size.
+    sizes = [r["stats"] for r in results]
+    assert max(sizes) < 2 * min(sizes)
+    # Everything beats shipping the raw dataset.
+    for r in results:
+        assert r["image"] < r["raw"] / 10
+        assert r["stats"] < r["raw"] / 10
+
+
+def test_bench_fig2_paper_scale_extrapolation(benchmark):
+    """At the paper's own scales (85 MB and 544 MB datasets), shipping a
+    slice image instead of the raw file turns hours into seconds."""
+
+    def extrapolate():
+        out = []
+        for raw_mb, label in ((85, "small"), (544, "large")):
+            raw = raw_mb * MBYTE
+            # A 3D single-precision 4-field dataset of this size has
+            # n^3 = raw / 16; one greyscale slice is n^2 bytes.
+            n = round((raw / 16) ** (1 / 3))
+            slice_bytes = n * n + 15
+            out.append((label, raw, slice_bytes,
+                        transfer_seconds(raw, 0.37),
+                        transfer_seconds(slice_bytes, 0.37)))
+        return out
+
+    rows = benchmark(extrapolate)
+    table = PaperTable(
+        "F2b",
+        "Extrapolation to the paper's dataset sizes (from Southampton, day)",
+        ["file", "raw bytes", "slice bytes", "raw time", "slice time"],
+    )
+    for label, raw, sliced, t_raw, t_slice in rows:
+        table.add_row(label, raw, sliced,
+                      format_duration(t_raw), format_duration(t_slice))
+    table.show()
+
+    for _label, raw, sliced, t_raw, t_slice in rows:
+        assert sliced < raw / 1000
+        assert t_slice < 60 < t_raw

@@ -1,0 +1,102 @@
+"""[T1] Table 1 — experimental ftp bandwidth measurements.
+
+Regenerates the paper's table exactly: estimated transfer times for the
+small (85 MByte) and large (544 MByte) simulation files at the four
+measured day/evening rates.  The paper's own numbers are arithmetic over
+the measured bandwidths, so measured-vs-paper must agree to the second.
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.netsim import (
+    MBYTE,
+    PAPER_RATES,
+    Network,
+    SimClock,
+    TransferEngine,
+    format_duration,
+    transfer_seconds,
+)
+
+SMALL = 85 * MBYTE
+LARGE = 544 * MBYTE
+
+PAPER_ROWS = [
+    # (period, direction, rate, paper small, paper large)
+    ("Day", "to_southampton", 0.25, "45m20s", "4h50m08s"),
+    ("Day", "from_southampton", 0.37, "30m38s", "3h16m02s"),
+    ("Evening", "to_southampton", 0.58, "19m32s", "2h05m03s"),
+    ("Evening", "from_southampton", 1.94, "5m51s", "37m23s"),
+]
+
+_DIRECTION_LABEL = {
+    "to_southampton": "To Southampton",
+    "from_southampton": "From Southampton",
+}
+
+
+def _regenerate_table() -> list[tuple]:
+    rows = []
+    for period, direction, rate, paper_small, paper_large in PAPER_ROWS:
+        small = format_duration(transfer_seconds(SMALL, rate))
+        large = format_duration(transfer_seconds(LARGE, rate))
+        rows.append(
+            (period, direction, rate, paper_small, small, paper_large, large)
+        )
+    return rows
+
+
+def test_bench_table1_regeneration(benchmark):
+    rows = benchmark(_regenerate_table)
+
+    table = PaperTable(
+        "T1",
+        "Experimental ftp bandwidth measurements (85 MB / 544 MB files)",
+        ["Time", "Direction", "Mbit/s",
+         "small (paper)", "small (ours)", "large (paper)", "large (ours)"],
+    )
+    for period, direction, rate, ps, ms, pl, ml in rows:
+        table.add_row(period, _DIRECTION_LABEL[direction], rate, ps, ms, pl, ml)
+    table.show()
+
+    for _period, _direction, _rate, paper_small, small, paper_large, large in rows:
+        assert small == paper_small
+        assert large == paper_large
+
+
+def test_bench_table1_through_topology(benchmark):
+    """The same numbers via the full topology + clock machinery (daytime)."""
+    network = Network.paper_topology()
+    engine = TransferEngine(network, SimClock(start_hour=10.0))
+
+    def durations():
+        return (
+            engine.duration("qmw.london", "southampton", SMALL),
+            engine.duration("qmw.london", "southampton", LARGE),
+            engine.duration("southampton", "qmw.london", SMALL),
+            engine.duration("southampton", "qmw.london", LARGE),
+        )
+
+    to_small, to_large, from_small, from_large = benchmark(durations)
+    assert format_duration(to_small) == "45m20s"
+    assert format_duration(to_large) == "4h50m08s"
+    assert format_duration(from_small) == "30m38s"
+    assert format_duration(from_large) == "3h16m02s"
+
+
+@pytest.mark.parametrize("start_hour,expected_better", [(17.5, True), (10.0, False)])
+def test_bench_table1_day_evening_boundary(benchmark, start_hour, expected_better):
+    """Transfers straddling the evening boundary beat the all-day rate —
+    the effect behind the paper's advice to transfer in the evening."""
+    network = Network.paper_topology()
+    engine = TransferEngine(network, SimClock(start_hour=start_hour))
+
+    duration = benchmark(
+        lambda: engine.duration("qmw.london", "southampton", LARGE)
+    )
+    all_day = transfer_seconds(LARGE, 0.25)
+    if expected_better:
+        assert duration < all_day
+    else:
+        assert duration == pytest.approx(all_day)

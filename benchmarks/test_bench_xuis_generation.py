@@ -1,0 +1,106 @@
+"""[F7] Automatic XUIS generation.
+
+The paper ships "a tool to generate automatically a default user interface
+specification, in the form of an XML document, for a given database".
+This bench measures the generator (plus serialise / parse / validate
+round-trip) as the schema grows.  Expected shape: cost grows ~linearly
+with schema size; a realistic archive schema generates in milliseconds —
+supporting the claim that the interface "requires little database or Web
+development experience to install".
+"""
+
+import pytest
+
+from repro.bench import PaperTable
+from repro.sqldb import Database
+from repro.xuis import (
+    generate_default_xuis,
+    parse_xuis,
+    serialize_xuis,
+    validate_xuis,
+)
+
+SCHEMA_SIZES = ((5, 8), (10, 16), (20, 24))  # (tables, columns per table)
+
+
+def _make_schema(n_tables: int, n_columns: int) -> Database:
+    db = Database()
+    for t in range(n_tables):
+        columns = [f"K VARCHAR(20) PRIMARY KEY"]
+        for c in range(n_columns - 1):
+            columns.append(f"C{c} VARCHAR(40)")
+        if t > 0:
+            columns.append(f"PARENT VARCHAR(20) REFERENCES T0 (K)")
+        db.execute(f"CREATE TABLE T{t} ({', '.join(columns)})")
+        # sample data for <samples>
+        for r in range(3):
+            values = [f"'k{t}_{r}'"] + [f"'v{c}_{r}'" for c in range(n_columns - 1)]
+            if t > 0:
+                values.append("NULL")
+            db.execute(f"INSERT INTO T{t} VALUES ({', '.join(values)})")
+    return db
+
+
+@pytest.mark.parametrize("n_tables,n_columns", SCHEMA_SIZES)
+def test_bench_fig7_generate(benchmark, n_tables, n_columns):
+    db = _make_schema(n_tables, n_columns)
+    document = benchmark(lambda: generate_default_xuis(db))
+    assert len(document.tables) == n_tables
+    assert validate_xuis(document, db) == []
+
+
+def test_bench_fig7_round_trip(benchmark):
+    db = _make_schema(10, 16)
+    document = generate_default_xuis(db)
+
+    def round_trip():
+        text = serialize_xuis(document)
+        again = parse_xuis(text)
+        return text, again
+
+    text, again = benchmark(round_trip)
+    assert len(again.tables) == 10
+    assert validate_xuis(again, db) == []
+
+
+def test_bench_fig7_scaling_table(benchmark):
+    import time
+
+    def measure():
+        out = []
+        for n_tables, n_columns in SCHEMA_SIZES:
+            db = _make_schema(n_tables, n_columns)
+            start = time.perf_counter()
+            document = generate_default_xuis(db)
+            generate = time.perf_counter() - start
+            start = time.perf_counter()
+            text = serialize_xuis(document)
+            serialise = time.perf_counter() - start
+            start = time.perf_counter()
+            problems = validate_xuis(parse_xuis(text), db)
+            check = time.perf_counter() - start
+            assert problems == []
+            out.append((n_tables, n_columns, len(text), generate, serialise, check))
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = PaperTable(
+        "F7",
+        "Default XUIS generation vs schema size",
+        ["tables", "cols/table", "XML bytes", "generate", "serialise",
+         "parse+validate"],
+    )
+    for n_tables, n_columns, nbytes, generate, serialise, check in results:
+        table.add_row(
+            n_tables, n_columns, nbytes,
+            f"{generate * 1000:.1f} ms", f"{serialise * 1000:.1f} ms",
+            f"{check * 1000:.1f} ms",
+        )
+    table.show()
+
+    # Shape: ~linear growth — 12x the schema costs far less than 100x.
+    small = results[0][3]
+    large = results[-1][3]
+    assert large < small * 120
+    # And absolute cost stays interactive (well under a second).
+    assert large < 1.0

@@ -1,0 +1,69 @@
+"""The bandwidth study behind the architecture.
+
+Recomputes the paper's Table 1 from the calibrated network model, then
+quantifies the two design decisions it motivated: archive data where it
+is generated, and reduce data server-side before shipping it.
+
+Run:  python examples/bandwidth_study.py
+"""
+
+from repro import MBYTE, Network, SimClock, TransferEngine, format_duration, transfer_seconds
+from repro.netsim import PAPER_RATES
+
+SMALL, LARGE = 85 * MBYTE, 544 * MBYTE
+
+
+def table1() -> None:
+    print("Table 1 — estimated transfer times (calibrated to the paper):")
+    print(f"  {'Time':8} {'Direction':18} {'Mbit/s':7} {'85 MB':>10} {'544 MB':>10}")
+    for (period, direction), rate in PAPER_RATES.items():
+        small = format_duration(transfer_seconds(SMALL, rate))
+        large = format_duration(transfer_seconds(LARGE, rate))
+        label = direction.replace("_", " ").title()
+        print(f"  {period.title():8} {label:18} {rate:<7} {small:>10} {large:>10}")
+
+
+def crossing_the_evening_boundary() -> None:
+    print("\nStarting a large upload 30 minutes before the evening boundary:")
+    engine = TransferEngine(Network.paper_topology(), SimClock(start_hour=17.5))
+    crossing = engine.duration("qmw.london", "southampton", LARGE)
+    all_day = transfer_seconds(LARGE, 0.25)
+    print(f"  all at day rate : {format_duration(all_day)}")
+    print(f"  crossing 18:00  : {format_duration(crossing)}")
+
+
+def archive_where_generated() -> None:
+    print("\nArchiving 5 large simulations (544 MB each), generated at QMW:")
+    engine = TransferEngine(Network.paper_topology(), SimClock(start_hour=10.0))
+    for i in range(5):
+        engine.transfer("qmw.london", "southampton", LARGE, f"upload {i}")
+    central = engine.clock.now
+
+    engine = TransferEngine(Network.paper_topology(), SimClock(start_hour=10.0))
+    for i in range(5):
+        engine.transfer("qmw.london", "qmw.london", LARGE, f"local archive {i}")
+        engine.transfer("qmw.london", "southampton", 1024, f"metadata {i}")
+    distributed = engine.clock.now
+    print(f"  ship to central archive : {format_duration(central)}")
+    print(f"  archive where generated : {format_duration(distributed)} "
+          "(metadata only crosses the WAN)")
+
+
+def reduce_before_shipping() -> None:
+    print("\nShipping a visualisation instead of the dataset (day, from archive):")
+    n = round((LARGE / 16) ** (1 / 3))  # grid implied by a 4-field float32 file
+    slice_bytes = n * n + 15
+    print(f"  raw 544 MB file : {format_duration(transfer_seconds(LARGE, 0.37))}")
+    print(f"  one {n}x{n} slice image ({slice_bytes:,} B): "
+          f"{format_duration(transfer_seconds(slice_bytes, 0.37))}")
+
+
+def main() -> None:
+    table1()
+    crossing_the_evening_boundary()
+    archive_where_generated()
+    reduce_before_shipping()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Regenerate the paper's interface figures as an HTML gallery.
+
+The paper's remaining figures are screenshots of the generated interface:
+the query form, the result table with its browsing hyperlinks, the
+operations column, an operation's input form, an operation's output, and
+the user-management page.  This script drives the live application and
+writes each page to ``ui_gallery/`` so they can be opened in a browser
+and compared against the paper side by side.
+
+Run:  python examples/generate_ui_gallery.py [output_dir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import EasiaApp, build_turbulence_archive
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "ui_gallery"
+    os.makedirs(out_dir, exist_ok=True)
+
+    archive = build_turbulence_archive(
+        n_simulations=3, timesteps=3, grid=16, n_file_servers=2
+    )
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-gallery-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    guest = app.login("guest", "guest")
+    member = app.login("turbulence", "consortium")
+    admin = app.login("admin", "hpcadmin")
+    sim = archive.simulation_keys[0]
+
+    pages = {
+        # figure: "Searching the archive" — the generated QBE query form
+        "01_query_form.html": app.get(
+            "/query", {"table": "SIMULATION"}, session_id=guest
+        ),
+        # figure: "Result table from querying SIMULATION table"
+        "02_result_table.html": app.get(
+            "/search",
+            {"table": "SIMULATION", "show_SIMULATION_KEY": "on",
+             "show_AUTHOR_KEY": "on", "show_TITLE": "on",
+             "show_GRID_SIZE": "on"},
+            session_id=guest,
+        ),
+        # figure: "Result table showing operations available" (member view
+        # also shows the restricted Subsample and the upload link)
+        "03_operations_column.html": app.get(
+            "/table", {"name": "RESULT_FILE"}, session_id=member
+        ),
+        # figure: "Input form for operation (generated according to XUIS)"
+        "04_operation_form.html": app.get(
+            "/operation/form",
+            {"name": "GetImage", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+             "key_FILE_NAME": "ts0000.turb", "key_SIMULATION_KEY": sim},
+            session_id=guest,
+        ),
+        # figure: "NCSA's SDB invoked on a dataset managed within our
+        # interface" (URL operation output)
+        "05_sdb_output.html": app.post(
+            "/operation/run",
+            {"name": "SDB", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+             "key_FILE_NAME": "ts0000.turb", "key_SIMULATION_KEY": sim},
+            session_id=guest,
+        ),
+        # figure: "Web-based user management"
+        "06_user_management.html": app.get("/admin/users", session_id=admin),
+        # future-work pages implemented in this reproduction
+        "07_operation_progress.html": app.get(
+            "/operation/progress", session_id=guest
+        ),
+        "08_operation_stats.html": app.get("/stats", session_id=guest),
+    }
+
+    # figure: "Output from operation execution" — the rendered slice image
+    image = app.post(
+        "/operation/run",
+        {"name": "GetImage", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+         "key_FILE_NAME": "ts0000.turb", "key_SIMULATION_KEY": sim,
+         "slice": "x4", "type": "p"},
+        session_id=guest,
+    )
+
+    for name, response in pages.items():
+        if not response.ok:
+            raise SystemExit(f"{name}: HTTP {response.status}: {response.text[:200]}")
+        with open(os.path.join(out_dir, name), "w", encoding="utf-8") as fh:
+            fh.write(response.text)
+        print(f"wrote {name} ({len(response.text)} chars)")
+    with open(os.path.join(out_dir, "09_operation_output.pgm"), "wb") as fh:
+        fh.write(image.body)
+    print(f"wrote 09_operation_output.pgm ({len(image.body)} bytes)")
+    print(f"\nGallery in {out_dir}/ — open the HTML files in a browser.")
+
+
+if __name__ == "__main__":
+    main()

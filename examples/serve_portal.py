@@ -1,0 +1,37 @@
+"""Serve the EASIA portal over real HTTP.
+
+Builds the turbulence demo archive and serves it with the stdlib WSGI
+server — point a browser at http://localhost:8080/login and sign in as
+guest/guest (the paper's demo credentials; turbulence/consortium and
+admin/hpcadmin also exist).
+
+Run:  python examples/serve_portal.py [port]
+"""
+
+import sys
+import tempfile
+from wsgiref.simple_server import make_server
+
+from repro import EasiaApp, build_turbulence_archive
+from repro.web.wsgi import WsgiAdapter
+
+
+def main() -> None:
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8080
+    archive = build_turbulence_archive(
+        n_simulations=4, timesteps=3, grid=24, n_file_servers=2
+    )
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-sandbox-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    httpd = make_server("", port, WsgiAdapter(app))
+    print(f"EASIA portal at http://localhost:{port}/login  (guest/guest)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nbye")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""The full UK Turbulence Consortium scenario.
+
+Builds the paper's demo archive (authors, simulations, per-timestep
+result files distributed over two file servers, post-processing codes
+archived as DATALINKs) and drives the web interface exactly as the
+paper's walkthrough does: log in as guest/guest, search with QBE, browse
+by key, run the GetImage visualisation operation.
+
+Run:  python examples/turbulence_portal.py
+"""
+
+import tempfile
+
+from repro import EasiaApp, build_turbulence_archive
+
+
+def show(title: str, text: str, lines: int = 6) -> None:
+    print(f"\n--- {title} " + "-" * max(0, 60 - len(title)))
+    for line in text.splitlines()[:lines]:
+        print(" ", line[:110])
+
+
+def main() -> None:
+    archive = build_turbulence_archive(
+        n_simulations=3, timesteps=3, grid=16, n_file_servers=2
+    )
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-sandbox-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+
+    print("Archive built:")
+    for server in archive.servers:
+        print(
+            f"  {server.host}: {len(server.filesystem)} files, "
+            f"{server.filesystem.total_bytes():,} bytes"
+        )
+
+    # guest/guest — the paper's demo credentials
+    session = app.login("guest", "guest")
+    show("Home page", app.get("/", session_id=session).text)
+
+    # QBE search: simulations on grids >= 16
+    results = app.get(
+        "/search",
+        {"table": "SIMULATION", "show_SIMULATION_KEY": "on",
+         "show_TITLE": "on", "show_AUTHOR_KEY": "on",
+         "val_GRID_SIZE": "16", "op_GRID_SIZE": ">="},
+        session_id=session,
+    )
+    show("QBE search results (note the fk/pk hyperlinks)", results.text, 10)
+
+    # primary-key browsing into RESULT_FILE
+    sim_key = archive.simulation_keys[0]
+    children = app.get(
+        "/browse/pk",
+        {"ref": "RESULT_FILE.SIMULATION_KEY", "value": sim_key},
+        session_id=session,
+    )
+    show(f"PK browse: result files of {sim_key}", children.text, 8)
+
+    # run GetImage server-side; only the rendered slice ships
+    image = app.post(
+        "/operation/run",
+        {"name": "GetImage", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+         "key_FILE_NAME": "ts0000.turb", "key_SIMULATION_KEY": sim_key,
+         "slice": "x4", "type": "p"},
+        session_id=session,
+    )
+    row = archive.result_rows(sim_key)[0]
+    print(
+        f"\nGetImage: dataset {row['RESULT_FILE.FILE_SIZE']:,} B stayed on "
+        f"the server; {len(image.body):,} B ({image.content_type}) shipped "
+        f"to the user — a {row['RESULT_FILE.FILE_SIZE'] / len(image.body):.0f}x reduction"
+    )
+
+    # guests cannot download raw datasets
+    url = row["RESULT_FILE.DOWNLOAD_RESULT"].url
+    denied = app.get("/download", {"url": url}, session_id=session)
+    print(f"guest raw-download attempt -> HTTP {denied.status}")
+
+    # a consortium member can
+    member = app.login("turbulence", "consortium")
+    granted = app.get("/download", {"url": url}, session_id=member)
+    print(f"member raw-download -> HTTP {granted.status}, {len(granted.body):,} B")
+
+    # operation statistics accumulate for future users
+    show("Operation statistics", app.get("/stats", session_id=session).text, 8)
+
+
+if __name__ == "__main__":
+    main()

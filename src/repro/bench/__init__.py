@@ -1,0 +1,16 @@
+"""Benchmark support: paper-vs-measured reporting and workload builders."""
+
+from repro.bench.reporting import PaperTable, emit
+from repro.bench.workloads import (
+    metadata_database,
+    multi_site_network,
+    user_site_network,
+)
+
+__all__ = [
+    "PaperTable",
+    "emit",
+    "metadata_database",
+    "multi_site_network",
+    "user_site_network",
+]

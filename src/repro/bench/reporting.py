@@ -1,0 +1,79 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Benchmarks run under pytest's output capture; :func:`emit` writes straight
+to the real stdout so the regenerated tables appear in the
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` transcript.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Sequence
+
+__all__ = ["emit", "set_writer", "PaperTable"]
+
+
+def _default_writer(text: str) -> None:
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+
+
+_writer = _default_writer
+
+
+def set_writer(writer) -> None:
+    """Install the output function used by :func:`emit`.
+
+    The benchmarks' conftest points this at a pytest-capture-disabled
+    printer so regenerated tables reach the terminal (and ``tee``).
+    """
+    global _writer
+    _writer = writer
+
+
+def emit(text: str = "") -> None:
+    """Print through the configured writer (un-captured stdout by default)."""
+    _writer(text)
+
+
+class PaperTable:
+    """An aligned text table announcing which paper artefact it regenerates.
+
+    >>> table = PaperTable("T1", "ftp bandwidth measurements",
+    ...                    ["Time", "Rate"])   # doctest: +SKIP
+    """
+
+    def __init__(self, experiment_id: str, title: str, headers: Sequence[str]) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [
+            "",
+            f"=== [{self.experiment_id}] {self.title} ===",
+            line(self.headers),
+            rule,
+        ]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def show(self) -> None:
+        emit(self.render())

@@ -1,0 +1,81 @@
+"""Workload builders shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.netsim import (
+    BandwidthProfile,
+    Host,
+    Link,
+    Network,
+    paper_profile,
+)
+from repro.sqldb import Database
+
+__all__ = ["user_site_network", "multi_site_network", "metadata_database"]
+
+
+def user_site_network() -> Network:
+    """The measured Southampton <-> remote-user-site pair from the paper."""
+    return Network.paper_topology(remote_sites=("qmw.london",))
+
+
+def multi_site_network(n_file_servers: int, user_site: str = "qmw.london") -> Network:
+    """Southampton (database host) + N file-server sites + one user site.
+
+    Every wide-area pair without an explicit link uses the paper's measured
+    day-rate toward Southampton as a conservative default; the user-site
+    link keeps the full day/evening asymmetric profiles.
+    """
+    network = Network()
+    network.add_host(Host("southampton", role="db_server"))
+    network.add_host(Host(user_site, role="user_site"))
+    network.add_link(
+        Link(
+            user_site,
+            "southampton",
+            profile_ab=paper_profile("to_southampton"),
+            profile_ba=paper_profile("from_southampton"),
+        )
+    )
+    for i in range(n_file_servers):
+        name = f"fs{i + 1}.site{i + 1}.ac.uk"
+        network.add_host(Host(name, role="file_server"))
+        network.add_link(
+            Link(
+                name,
+                user_site,
+                profile_ab=paper_profile("from_southampton"),
+                profile_ba=paper_profile("to_southampton"),
+            )
+        )
+    network.set_default_profile(BandwidthProfile.constant(0.37))
+    return network
+
+
+def metadata_database(n_rows: int, with_index: bool = True) -> Database:
+    """A SIMULATION-shaped metadata table with ``n_rows`` rows, for the
+    query-interface benchmarks."""
+    db = Database()
+    db.execute(
+        "CREATE TABLE SIMULATION ("
+        " SIMULATION_KEY VARCHAR(30) PRIMARY KEY,"
+        " TITLE VARCHAR(80) NOT NULL,"
+        " GRID_SIZE INTEGER,"
+        " REYNOLDS DOUBLE,"
+        " AUTHOR VARCHAR(40))"
+    )
+    grids = (64, 128, 256, 512)
+    for i in range(n_rows):
+        db.execute(
+            "INSERT INTO SIMULATION VALUES (?, ?, ?, ?, ?)",
+            (
+                f"S{i:08d}",
+                f"Simulation run {i} of turbulent flow case {i % 17}",
+                grids[i % len(grids)],
+                100.0 + (i % 50) * 10.0,
+                f"author{i % 23}",
+            ),
+        )
+    if with_index:
+        db.execute("CREATE INDEX IX_GRID ON SIMULATION (GRID_SIZE)")
+    return db

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``sql``       — execute SQL against a (durable) database: ``-c`` for a
+  single statement/script, or an interactive prompt on a TTY,
+* ``serve``     — build the turbulence demo archive and serve the portal
+  over HTTP (wsgiref),
+* ``xuis``      — generate the default XUIS for a database directory and
+  print it,
+* ``table1``    — print the paper's Table 1 from the calibrated model,
+* ``demo``      — build the demo archive and print a summary.
+
+The CLI is intentionally thin: every command is a few lines over the
+public library API, and doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.sqldb import Database
+
+    db = Database(args.database)
+    if args.command:
+        return _run_script(db, args.command)
+    if not sys.stdin.isatty():
+        return _run_script(db, sys.stdin.read())
+    print("EASIA SQL shell — terminate statements with ';', exit with \\q")
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "sql> " if not buffer else "...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        if line.strip() == "\\q":
+            break
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            _run_script(db, "\n".join(buffer))
+            buffer.clear()
+    return 0
+
+
+def _run_script(db, text: str) -> int:
+    try:
+        results = db.execute_script(text)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for result in results:
+        if result.columns:
+            print("\t".join(result.columns))
+            for row in result.rows:
+                print("\t".join("" if v is None else str(v) for v in row))
+            print(f"({len(result.rows)} row(s))")
+        elif result.rowcount:
+            print(f"ok ({result.rowcount} row(s) affected)")
+        else:
+            print("ok")
+    return 0
+
+
+def _build_demo(args: argparse.Namespace):
+    from repro.turbulence import build_turbulence_archive
+
+    return build_turbulence_archive(
+        n_simulations=args.simulations,
+        timesteps=args.timesteps,
+        grid=args.grid,
+        n_file_servers=args.file_servers,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+    from wsgiref.simple_server import make_server
+
+    from repro import EasiaApp
+    from repro.web.wsgi import WsgiAdapter
+
+    archive = _build_demo(args)
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-sandbox-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    httpd = make_server(args.host, args.port, WsgiAdapter(app))
+    print(f"EASIA portal at http://{args.host or 'localhost'}:{args.port}/login "
+          "(guest/guest)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_xuis(args: argparse.Namespace) -> int:
+    from repro.sqldb import Database
+    from repro.xuis import generate_default_xuis, serialize_xuis, validate_xuis
+
+    db = Database(args.database)
+    document = generate_default_xuis(db, title=args.title)
+    problems = validate_xuis(document, db)
+    if problems:
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 1
+    print(serialize_xuis(document))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.netsim import MBYTE, PAPER_RATES, format_duration, transfer_seconds
+
+    print(f"{'Time':8} {'Direction':18} {'Mbit/s':7} {'85 MB':>10} {'544 MB':>10}")
+    for (period, direction), rate in PAPER_RATES.items():
+        small = format_duration(transfer_seconds(85 * MBYTE, rate))
+        large = format_duration(transfer_seconds(544 * MBYTE, rate))
+        label = direction.replace("_", " ").title()
+        print(f"{period.title():8} {label:18} {rate:<7} {small:>10} {large:>10}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    archive = _build_demo(args)
+    db = archive.db
+    print(f"simulations : {db.execute('SELECT COUNT(*) FROM SIMULATION').scalar()}")
+    print(f"result files: {db.execute('SELECT COUNT(*) FROM RESULT_FILE').scalar()}")
+    print(f"codes       : {db.execute('SELECT COUNT(*) FROM CODE_FILE').scalar()}")
+    for server in archive.servers:
+        print(
+            f"{server.host}: {len(server.filesystem)} files, "
+            f"{server.filesystem.total_bytes():,} bytes"
+        )
+    ops = [
+        op.name
+        for op in archive.document.column(
+            "RESULT_FILE.DOWNLOAD_RESULT"
+        ).operations
+    ]
+    print(f"operations  : {', '.join(ops)}")
+    return 0
+
+
+def _add_demo_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--simulations", type=int, default=3)
+    parser.add_argument("--timesteps", type=int, default=3)
+    parser.add_argument("--grid", type=int, default=16)
+    parser.add_argument("--file-servers", type=int, default=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EASIA: SQL/MED + XML scientific data archive",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    sql = sub.add_parser("sql", help="run SQL against a database directory")
+    sql.add_argument("database", nargs="?", default=None,
+                     help="database directory (omit for in-memory)")
+    sql.add_argument("-c", "--command", help="SQL text to execute")
+    sql.set_defaults(fn=_cmd_sql)
+
+    serve = sub.add_parser("serve", help="serve the demo portal over HTTP")
+    serve.add_argument("--host", default="")
+    serve.add_argument("--port", type=int, default=8080)
+    _add_demo_options(serve)
+    serve.set_defaults(fn=_cmd_serve)
+
+    xuis = sub.add_parser("xuis", help="generate the default XUIS for a database")
+    xuis.add_argument("database", help="database directory")
+    xuis.add_argument("--title", default="EASIA Archive")
+    xuis.set_defaults(fn=_cmd_xuis)
+
+    table1 = sub.add_parser("table1", help="print the paper's Table 1")
+    table1.set_defaults(fn=_cmd_table1)
+
+    demo = sub.add_parser("demo", help="build the demo archive and summarise it")
+    _add_demo_options(demo)
+    demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into something like `head` that closed early
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

@@ -1,0 +1,43 @@
+"""SQL/MED (Management of External Data) — DATALINK emulation.
+
+This is the paper's central mechanism: the database stores small metadata
+locally while multi-gigabyte result files stay on the distributed file
+servers where they were generated, referenced by DATALINK columns.  The
+package provides:
+
+* :class:`DatalinkValue` / :class:`DatalinkSpec` — the value type and the
+  DDL option set (re-exported from the engine's type system),
+* :class:`TokenManager` — encrypted, expiring access tokens
+  (READ PERMISSION DB),
+* :class:`DataLinker` — the datalink manager wired into database
+  transactions (referential integrity + transaction consistency),
+* :func:`coordinated_backup` / :func:`coordinated_restore` — database and
+  linked files saved and recovered as one unit.
+
+Typical wiring::
+
+    db = Database()
+    linker = DataLinker()
+    linker.register_server(FileServer("fs1.soton.ac.uk"))
+    db.set_datalink_hooks(linker)
+"""
+
+from repro.datalink.backup import coordinated_backup, coordinated_restore
+from repro.datalink.linker import DataLinker
+from repro.datalink.reconcile import ReconcileReport, reconcile, repair
+from repro.datalink.tokens import DEFAULT_VALIDITY_SECONDS, TokenManager
+from repro.sqldb.med import DatalinkSpec
+from repro.sqldb.types import DatalinkValue
+
+__all__ = [
+    "DataLinker",
+    "TokenManager",
+    "DEFAULT_VALIDITY_SECONDS",
+    "DatalinkSpec",
+    "DatalinkValue",
+    "coordinated_backup",
+    "coordinated_restore",
+    "reconcile",
+    "repair",
+    "ReconcileReport",
+]

@@ -1,0 +1,162 @@
+"""Datalink reconciliation.
+
+DB2's DataLinks manager shipped a ``reconcile`` utility for exactly the
+situations a distributed archive accumulates: file servers restored from
+older backups, NO LINK CONTROL references rotting, crashes between a
+server's state and the database's.  :func:`reconcile` audits the whole
+deployment and reports, per datalink column:
+
+* **dangling** — the database references a file the server doesn't have
+  (or an unregistered host),
+* **unlinked** — the file exists but is not under link control although
+  its column demands it (e.g. the server was rebuilt from raw files),
+* **orphaned** — a file on a server is marked linked but no database row
+  references it (row deleted while the server was unreachable).
+
+:func:`repair` applies the safe fixes: re-link *unlinked* files and
+release *orphaned* ones.  Dangling references are only reported — dropping
+rows is a curator's decision.
+"""
+
+from __future__ import annotations
+
+from repro.datalink.linker import DataLinker
+from repro.sqldb.database import Database
+from repro.sqldb.types import DatalinkValue
+
+__all__ = ["ReconcileReport", "Finding", "reconcile", "repair"]
+
+
+class Finding:
+    """One inconsistency."""
+
+    __slots__ = ("kind", "table", "column", "host", "path", "detail")
+
+    def __init__(self, kind: str, host: str, path: str,
+                 table: str = "", column: str = "", detail: str = "") -> None:
+        self.kind = kind  # dangling | unlinked | orphaned
+        self.table = table
+        self.column = column
+        self.host = host
+        self.path = path
+        self.detail = detail
+
+    def describe(self) -> str:
+        where = f"{self.table}.{self.column}: " if self.table else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.kind}] {where}{self.host}{self.path}{detail}"
+
+    def __repr__(self) -> str:
+        return f"Finding({self.describe()!r})"
+
+
+class ReconcileReport:
+    """Outcome of one reconciliation pass."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.links_checked = 0
+        self.files_checked = 0
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        lines = [
+            f"checked {self.links_checked} database link(s), "
+            f"{self.files_checked} server file(s)",
+        ]
+        if self.consistent:
+            lines.append("archive is consistent")
+        lines.extend(f.describe() for f in self.findings)
+        return "\n".join(lines)
+
+
+def _database_links(db: Database):
+    """Yield (table, column, spec, DatalinkValue) for every stored link."""
+    for table in db.catalog.tables():
+        schema = table.schema
+        for column in schema.datalink_columns:
+            position = schema.column_index(column.name)
+            for _rowid, row in table.scan():
+                value = row[position]
+                if value is not None:
+                    yield schema.name, column.name, column.type.spec, value
+
+
+def reconcile(db: Database, linker: DataLinker) -> ReconcileReport:
+    """Audit database datalinks against the registered file servers."""
+    report = ReconcileReport()
+    referenced: set[tuple[str, str]] = set()
+
+    for table_name, column_name, spec, value in _database_links(db):
+        report.links_checked += 1
+        key = (value.host, value.server_path)
+        referenced.add(key)
+        if not linker.has_server(value.host):
+            report.findings.append(Finding(
+                "dangling", value.host, value.server_path,
+                table_name, column_name, "host not registered",
+            ))
+            continue
+        server = linker.server(value.host)
+        if not server.dl_exists(value.server_path):
+            report.findings.append(Finding(
+                "dangling", value.host, value.server_path,
+                table_name, column_name, "file missing on server",
+            ))
+            continue
+        requires_control = spec is not None and spec.link_control
+        entry = server.filesystem.entry(value.server_path)
+        if requires_control and not entry.linked:
+            report.findings.append(Finding(
+                "unlinked", value.host, value.server_path,
+                table_name, column_name,
+                "column demands FILE LINK CONTROL",
+            ))
+
+    for server in linker.servers():
+        for path in server.filesystem.paths():
+            report.files_checked += 1
+            entry = server.filesystem.entry(path)
+            if entry.linked and (server.host, path) not in referenced:
+                report.findings.append(Finding(
+                    "orphaned", server.host, path,
+                    detail="linked on server but unreferenced",
+                ))
+    return report
+
+
+def repair(db: Database, linker: DataLinker,
+           report: ReconcileReport | None = None) -> ReconcileReport:
+    """Apply the safe fixes for a report (computing one if not given).
+
+    * *unlinked* files are re-linked with their column's options,
+    * *orphaned* files are released (unlink with RESTORE semantics).
+
+    Returns a fresh post-repair report.
+    """
+    if report is None:
+        report = reconcile(db, linker)
+
+    specs: dict[tuple[str, str], object] = {}
+    for table_name, column_name, spec, value in _database_links(db):
+        specs[(value.host, value.server_path)] = spec
+
+    for finding in report.by_kind("unlinked"):
+        spec = specs.get((finding.host, finding.path))
+        if spec is None:
+            continue
+        linker.server(finding.host).dl_link(
+            finding.path,
+            read_db=spec.read_permission == "DB",
+            write_blocked=spec.write_permission == "BLOCKED",
+            recovery=spec.recovery,
+        )
+    for finding in report.by_kind("orphaned"):
+        linker.server(finding.host).dl_unlink(finding.path, delete=False)
+    return reconcile(db, linker)

@@ -1,0 +1,194 @@
+"""Shared exception hierarchy for the EASIA reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch one family of errors at the API boundary.  The hierarchy mirrors the
+paper's layering: database errors, SQL/MED (datalink) errors, network
+simulation errors, XUIS errors, web-interface errors and operation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Database engine (repro.sqldb)
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenised or parsed.
+
+    Carries the offending position so web-layer error pages can point at it.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(DatabaseError):
+    """Unknown table/column, duplicate definitions, or invalid schema."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not conform to the declared SQL type of its column."""
+
+
+class ConstraintViolation(DatabaseError):
+    """Base class for integrity-constraint failures."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """A NOT NULL column received NULL."""
+
+
+class UniqueViolation(ConstraintViolation):
+    """A PRIMARY KEY or UNIQUE constraint was violated."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A referential-integrity constraint was violated."""
+
+
+class CheckViolation(ConstraintViolation):
+    """A CHECK constraint evaluated to false."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transitions (e.g. COMMIT with no BEGIN)."""
+
+
+class RecoveryError(DatabaseError):
+    """The write-ahead log or a backup image could not be replayed."""
+
+
+# ---------------------------------------------------------------------------
+# SQL/MED datalinks (repro.datalink)
+# ---------------------------------------------------------------------------
+
+
+class DatalinkError(ReproError):
+    """Base class for SQL/MED DATALINK errors."""
+
+
+class InvalidDatalinkValue(DatalinkError):
+    """The supplied URL is not a valid DATALINK value."""
+
+
+class FileLinkError(DatalinkError):
+    """FILE LINK CONTROL failed: missing file, already linked, or the
+    file server refused the link."""
+
+
+class TokenError(DatalinkError):
+    """An access token is malformed, forged, or expired."""
+
+
+class TokenExpiredError(TokenError):
+    """The access token's validity interval has elapsed."""
+
+
+class PermissionDeniedError(DatalinkError):
+    """READ/WRITE PERMISSION DB denied the request."""
+
+
+# ---------------------------------------------------------------------------
+# Network simulation (repro.netsim)
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class UnknownHostError(NetworkError):
+    """The topology has no host with the requested name."""
+
+
+class NoRouteError(NetworkError):
+    """There is no link between the requested endpoints."""
+
+
+# ---------------------------------------------------------------------------
+# File servers (repro.fileserver)
+# ---------------------------------------------------------------------------
+
+
+class FileServerError(ReproError):
+    """Base class for file-server errors."""
+
+
+class FileNotFoundOnServer(FileServerError):
+    """The requested path does not exist on the file server."""
+
+
+class FileLockedError(FileServerError):
+    """The file is under database link control and may not be renamed,
+    deleted or overwritten by filesystem users."""
+
+
+# ---------------------------------------------------------------------------
+# XUIS (repro.xuis)
+# ---------------------------------------------------------------------------
+
+
+class XuisError(ReproError):
+    """Base class for XML User Interface Specification errors."""
+
+
+class XuisValidationError(XuisError):
+    """The XUIS document does not conform to the DTD rules."""
+
+
+class XuisParseError(XuisError):
+    """The XUIS XML could not be parsed into the document model."""
+
+
+# ---------------------------------------------------------------------------
+# Web interface (repro.web)
+# ---------------------------------------------------------------------------
+
+
+class WebError(ReproError):
+    """Base class for web-interface errors."""
+
+
+class AuthenticationError(WebError):
+    """Bad credentials or missing session."""
+
+
+class AuthorizationError(WebError):
+    """The authenticated user may not perform the requested action
+    (e.g. guest users cannot download datasets or upload codes)."""
+
+
+class RoutingError(WebError):
+    """No servlet is registered for the requested path."""
+
+
+# ---------------------------------------------------------------------------
+# Operations (repro.operations)
+# ---------------------------------------------------------------------------
+
+
+class OperationError(ReproError):
+    """Base class for post-processing operation errors."""
+
+
+class OperationNotApplicable(OperationError):
+    """The operation's <if> conditions do not hold for the target row."""
+
+
+class SandboxViolation(OperationError):
+    """Uploaded code attempted something the sandbox policy forbids."""
+
+
+class OperationExecutionError(OperationError):
+    """The operation code raised or returned a non-zero status."""

@@ -1,0 +1,19 @@
+"""Distributed file servers.
+
+Paper: "File server hosts that may be located anywhere on the Internet
+store files referenced by attributes defined as DATALINK SQL-types.  These
+file servers manage the large files associated with simulations, which have
+been archived where they were generated."
+
+* :class:`ServerFileSystem` — the server's local store, honouring the
+  rename/delete blocking that FILE LINK CONTROL imposes on linked files,
+* :class:`FileServer` — serves files over (simulated) HTTP, enforcing
+  database-issued access tokens for files linked with READ PERMISSION DB,
+  and exposing the DataLinks-File-Manager-style control operations the
+  database's datalink manager calls.
+"""
+
+from repro.fileserver.filesystem import FileEntry, ServerFileSystem
+from repro.fileserver.server import FileServer
+
+__all__ = ["FileEntry", "ServerFileSystem", "FileServer"]

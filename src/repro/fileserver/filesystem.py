@@ -1,0 +1,178 @@
+"""A file server's local filesystem.
+
+Stores file bytes keyed by absolute path (``/filesystem/directory/name``).
+Each entry tracks the SQL/MED control state the DataLinks file manager
+maintains on a real system:
+
+* ``linked`` — the file is referenced by a DATALINK column under FILE LINK
+  CONTROL.  Linked files cannot be renamed, deleted or overwritten through
+  normal filesystem operations (referential integrity for external data).
+* ``read_db`` — reads require a database-issued access token (READ
+  PERMISSION DB); the enforcement itself lives in
+  :class:`repro.fileserver.server.FileServer`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import FileLockedError, FileNotFoundOnServer, FileServerError
+
+__all__ = ["FileEntry", "ServerFileSystem"]
+
+
+class FileEntry:
+    """One stored file plus its link-control state."""
+
+    __slots__ = ("data", "linked", "read_db", "write_blocked", "recovery",
+                 "versions")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.linked = False
+        self.read_db = False
+        self.write_blocked = False
+        #: participates in coordinated backup (RECOVERY YES)
+        self.recovery = False
+        #: prior contents, captured when a RECOVERY YES file is updated in
+        #: place (WRITE PERMISSION FS) — enables point-in-time restore
+        self.versions: list[bytes] = []
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def _normalise(path: str) -> str:
+    if not path.startswith("/"):
+        path = "/" + path
+    while "//" in path:
+        path = path.replace("//", "/")
+    if path.endswith("/"):
+        raise FileServerError(f"path {path!r} names a directory, not a file")
+    return path
+
+
+class ServerFileSystem:
+    """Path -> :class:`FileEntry` store with link-control enforcement."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileEntry] = {}
+
+    # -- ordinary filesystem operations (subject to link control) -----------
+
+    def write(self, path: str, data: bytes) -> FileEntry:
+        """Create or overwrite a file.  Overwriting a linked file is blocked
+        unless its column allowed WRITE PERMISSION FS."""
+        path = _normalise(path)
+        existing = self._files.get(path)
+        if existing is not None and existing.linked and existing.write_blocked:
+            raise FileLockedError(
+                f"{path} is linked by the database (WRITE PERMISSION BLOCKED)"
+            )
+        if existing is not None and existing.linked:
+            if existing.recovery:
+                # RECOVERY YES: keep the prior version for point-in-time
+                # restore, coordinated with database recovery.
+                existing.versions.append(existing.data)
+            existing.data = data
+            return existing
+        entry = FileEntry(data)
+        self._files[path] = entry
+        return entry
+
+    def read(self, path: str) -> bytes:
+        return self.entry(path).data
+
+    def delete(self, path: str) -> None:
+        entry = self.entry(path)
+        if entry.linked:
+            raise FileLockedError(f"{path} is linked by the database")
+        del self._files[_normalise(path)]
+
+    def rename(self, old: str, new: str) -> None:
+        entry = self.entry(old)
+        if entry.linked:
+            raise FileLockedError(f"{old} is linked by the database")
+        new = _normalise(new)
+        if new in self._files:
+            raise FileServerError(f"{new} already exists")
+        del self._files[_normalise(old)]
+        self._files[new] = entry
+
+    # -- queries ----------------------------------------------------------------
+
+    def entry(self, path: str) -> FileEntry:
+        path = _normalise(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise FileNotFoundOnServer(f"no such file: {path}")
+        return entry
+
+    def exists(self, path: str) -> bool:
+        return _normalise(path) in self._files
+
+    def size(self, path: str) -> int:
+        return self.entry(path).size
+
+    def paths(self) -> Iterator[str]:
+        yield from sorted(self._files)
+
+    def linked_paths(self) -> list[str]:
+        return [p for p in sorted(self._files) if self._files[p].linked]
+
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # -- DataLinks-file-manager control plane -------------------------------------
+    # These are NOT ordinary filesystem calls; only the database's datalink
+    # manager may invoke them (via FileServer).
+
+    def dl_link(self, path: str, read_db: bool, write_blocked: bool, recovery: bool) -> None:
+        entry = self.entry(path)
+        if entry.linked:
+            raise FileLockedError(f"{path} is already linked")
+        entry.linked = True
+        entry.read_db = read_db
+        entry.write_blocked = write_blocked
+        entry.recovery = recovery
+
+    def version_count(self, path: str) -> int:
+        """Number of archived prior versions of a RECOVERY YES file."""
+        return len(self.entry(path).versions)
+
+    def restore_version(self, path: str, index: int = -1) -> None:
+        """Point-in-time restore: revert the file to an archived version.
+
+        ``index`` addresses the version history (default: the most recent
+        prior version).  Versions after the restored one are discarded,
+        matching a database point-in-time recovery that rolls time back.
+        """
+        entry = self.entry(path)
+        if not entry.versions:
+            raise FileServerError(f"{path} has no archived versions")
+        try:
+            restored = entry.versions[index]
+        except IndexError:
+            raise FileServerError(
+                f"{path} has {len(entry.versions)} version(s); "
+                f"index {index} is out of range"
+            ) from None
+        keep = index if index >= 0 else len(entry.versions) + index
+        entry.data = restored
+        del entry.versions[keep:]
+
+    def dl_unlink(self, path: str, delete: bool) -> None:
+        entry = self.entry(path)
+        if not entry.linked:
+            raise FileServerError(f"{path} is not linked")
+        entry.linked = False
+        entry.read_db = False
+        entry.write_blocked = False
+        entry.recovery = False
+        entry.versions.clear()
+        if delete:
+            del self._files[_normalise(path)]

@@ -1,0 +1,110 @@
+"""A file server host.
+
+Serves files over simulated HTTP.  For files linked with READ PERMISSION
+DB, the request URL must carry a valid, unexpired access token issued by
+the database (paper: "files can only be accessed using an encrypted file
+access token, obtained from the database by users with the correct database
+privileges").  The token validator is the shared-secret
+:class:`repro.datalink.tokens.TokenManager`, mirroring how the DataLinks
+file manager on each host shares key material with the DBMS.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PermissionDeniedError, TokenError
+from repro.fileserver.filesystem import ServerFileSystem
+
+__all__ = ["FileServer"]
+
+
+class FileServer:
+    """One file-server host, addressable by its DNS-style name."""
+
+    def __init__(self, host: str, filesystem: ServerFileSystem | None = None,
+                 token_manager=None) -> None:
+        self.host = host
+        self.filesystem = filesystem or ServerFileSystem()
+        #: validates READ PERMISSION DB access tokens; installed by the
+        #: datalink manager when the server is registered
+        self.token_manager = token_manager
+        #: served-bytes accounting for the benchmarks
+        self.bytes_served = 0
+        self.requests = 0
+        self.denied = 0
+
+    # -- data ingestion (local writes by simulation codes) ---------------------
+
+    def put(self, path: str, data: bytes) -> int:
+        """Store a file (e.g. a simulation result generated on this host)."""
+        self.filesystem.write(path, data)
+        return len(data)
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve(self, path: str, token: str | None = None) -> bytes:
+        """Return the file's bytes, enforcing token access where required.
+
+        ``path`` may be in tokenized form ``/dir/token;name`` (the shape a
+        DATALINK SELECT yields), in which case the embedded token is used.
+        """
+        self.requests += 1
+        if ";" in path:
+            directory, _, last = path.rpartition("/")
+            embedded, _, filename = last.partition(";")
+            path = f"{directory}/{filename}"
+            if token is None:
+                token = embedded
+        entry = self.filesystem.entry(path)
+        if entry.read_db:
+            if token is None:
+                self.denied += 1
+                raise PermissionDeniedError(
+                    f"{path} requires a database access token"
+                )
+            if self.token_manager is None:
+                self.denied += 1
+                raise TokenError(
+                    f"server {self.host} has no token manager installed"
+                )
+            try:
+                self.token_manager.validate(self._token_scope(path), token)
+            except TokenError:
+                self.denied += 1
+                raise
+        self.bytes_served += entry.size
+        return entry.data
+
+    def head(self, path: str) -> int:
+        """Size probe (no token needed; mirrors the interface showing object
+        sizes on DATALINK hyperlinks before download)."""
+        return self.filesystem.size(path)
+
+    def _token_scope(self, path: str) -> str:
+        """Tokens are bound to host+path so one file's token cannot fetch
+        another file, even on the same server."""
+        return f"{self.host}{path}"
+
+    # -- control plane used by the datalink manager --------------------------------
+
+    def dl_exists(self, path: str) -> bool:
+        return self.filesystem.exists(path)
+
+    def dl_size(self, path: str) -> int:
+        return self.filesystem.size(path)
+
+    def dl_link(self, path: str, read_db: bool, write_blocked: bool, recovery: bool) -> None:
+        self.filesystem.dl_link(path, read_db, write_blocked, recovery)
+
+    def dl_unlink(self, path: str, delete: bool) -> None:
+        self.filesystem.dl_unlink(path, delete)
+
+    def dl_recovery_paths(self) -> list[str]:
+        """Linked paths flagged RECOVERY YES (coordinated-backup set)."""
+        return [
+            p
+            for p in self.filesystem.linked_paths()
+            if self.filesystem.entry(p).recovery
+        ]
+
+    def __repr__(self) -> str:
+        return f"FileServer({self.host!r}, {len(self.filesystem)} files)"

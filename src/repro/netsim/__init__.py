@@ -1,0 +1,49 @@
+"""Simulated wide-area network.
+
+The paper motivates EASIA with ftp bandwidth measurements between
+Southampton and Queen Mary & Westfield College over 10 Mbit/s SuperJANET
+connections (its Table 1).  This package reproduces that environment:
+
+* :class:`SimClock` — simulated time with a time-of-day notion,
+* :class:`BandwidthProfile` — Mbit/s as a function of time of day,
+  with the paper's measured day/evening rates as calibrated constants,
+* :class:`Network` / :class:`Host` / :class:`Link` — a topology of archive
+  sites and file servers,
+* :class:`TransferEngine` — computes transfer durations (integrating the
+  bandwidth profile across day/evening boundaries) and keeps byte-level
+  accounting, which the benchmarks use to compare centralised vs
+  distributed archive designs.
+"""
+
+from repro.netsim.bandwidth import (
+    PAPER_RATES,
+    BandwidthProfile,
+    paper_profile,
+)
+from repro.netsim.clock import SimClock
+from repro.netsim.scheduler import ConcurrentScheduler, Flow
+from repro.netsim.topology import Host, Link, Network
+from repro.netsim.transfer import (
+    MBYTE,
+    TransferEngine,
+    TransferRecord,
+    format_duration,
+    transfer_seconds,
+)
+
+__all__ = [
+    "SimClock",
+    "BandwidthProfile",
+    "PAPER_RATES",
+    "paper_profile",
+    "Host",
+    "Link",
+    "Network",
+    "ConcurrentScheduler",
+    "Flow",
+    "TransferEngine",
+    "TransferRecord",
+    "transfer_seconds",
+    "format_duration",
+    "MBYTE",
+]

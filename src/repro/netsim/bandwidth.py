@@ -1,0 +1,116 @@
+"""Time-of-day bandwidth profiles, calibrated to the paper's measurements.
+
+Table 1 of the paper (repeated ftp measurements between Southampton and
+QMW London, both on 10 Mbit/s SuperJANET connections):
+
+======== ================== ================
+Time     Direction          Bandwidth Mbit/s
+======== ================== ================
+Day      To Southampton     0.25
+Day      From Southampton   0.37
+Evening  To Southampton     0.58
+Evening  From Southampton   1.94
+======== ================== ================
+
+:data:`PAPER_RATES` captures those numbers; :func:`paper_profile` builds a
+:class:`BandwidthProfile` that switches between the day and evening rate on
+a configurable boundary (daytime is taken as 08:00-18:00, evening the
+rest — the paper does not give boundaries, and the reproduced Table 1 holds
+for any choice because each measurement is taken wholly within one band).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+__all__ = ["BandwidthProfile", "PAPER_RATES", "paper_profile", "DAY_START_HOUR", "DAY_END_HOUR"]
+
+#: measured rates in Mbit/s, keyed by (period, direction)
+PAPER_RATES: dict[tuple[str, str], float] = {
+    ("day", "to_southampton"): 0.25,
+    ("day", "from_southampton"): 0.37,
+    ("evening", "to_southampton"): 0.58,
+    ("evening", "from_southampton"): 1.94,
+}
+
+DAY_START_HOUR = 8.0
+DAY_END_HOUR = 18.0
+
+
+class BandwidthProfile:
+    """Piecewise-constant bandwidth (Mbit/s) over the 24-hour cycle.
+
+    Defined by a sorted list of ``(start_hour, rate_mbit_s)`` segments; a
+    segment runs until the next segment's start (wrapping at midnight).
+
+    >>> profile = BandwidthProfile([(0.0, 1.0), (8.0, 0.5), (18.0, 1.0)])
+    >>> profile.rate_at(12.0)
+    0.5
+    >>> profile.rate_at(20.0)
+    1.0
+    """
+
+    def __init__(self, segments: list[tuple[float, float]]) -> None:
+        if not segments:
+            raise NetworkError("a bandwidth profile needs at least one segment")
+        ordered = sorted(segments)
+        if ordered[0][0] != 0.0:
+            raise NetworkError("the first segment must start at hour 0")
+        hours = [h for h, _ in ordered]
+        if len(set(hours)) != len(hours):
+            raise NetworkError("duplicate segment start hours")
+        for hour, rate in ordered:
+            if not 0.0 <= hour < 24.0:
+                raise NetworkError(f"segment hour {hour} out of range")
+            if rate <= 0:
+                raise NetworkError(f"bandwidth must be positive, got {rate}")
+        self.segments = ordered
+
+    @classmethod
+    def constant(cls, rate_mbit_s: float) -> "BandwidthProfile":
+        return cls([(0.0, rate_mbit_s)])
+
+    def rate_at(self, hour: float) -> float:
+        """Bandwidth in Mbit/s at the given hour of day."""
+        hour = hour % 24.0
+        current = self.segments[-1][1]  # wraps from the previous day
+        for start, rate in self.segments:
+            if start <= hour:
+                current = rate
+            else:
+                break
+        return current
+
+    def next_boundary(self, hour: float) -> float:
+        """Hours until the next segment boundary after ``hour``."""
+        hour = hour % 24.0
+        for start, _rate in self.segments:
+            if start > hour:
+                return start - hour
+        # wrap to the first boundary tomorrow
+        return 24.0 - hour + self.segments[0][0]
+
+    def is_constant(self) -> bool:
+        rates = {rate for _h, rate in self.segments}
+        return len(rates) == 1
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{h:g}h:{r:g}Mb/s" for h, r in self.segments)
+        return f"BandwidthProfile({parts})"
+
+
+def paper_profile(direction: str) -> BandwidthProfile:
+    """The measured Southampton<->QMW profile for one direction.
+
+    ``direction`` is ``"to_southampton"`` or ``"from_southampton"``.
+    """
+    try:
+        day = PAPER_RATES[("day", direction)]
+        evening = PAPER_RATES[("evening", direction)]
+    except KeyError:
+        raise NetworkError(
+            f"direction must be to_southampton/from_southampton, got {direction!r}"
+        ) from None
+    return BandwidthProfile(
+        [(0.0, evening), (DAY_START_HOUR, day), (DAY_END_HOUR, evening)]
+    )

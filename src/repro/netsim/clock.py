@@ -1,0 +1,64 @@
+"""Simulated clock.
+
+All netsim components share one :class:`SimClock`.  Time is a float number
+of seconds since the start of the simulation; the clock also maps absolute
+time onto a 24-hour cycle so bandwidth profiles can vary by time of day
+(the paper's day vs evening measurements).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+__all__ = ["SimClock", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 24 * 3600.0
+
+
+class SimClock:
+    """Monotonic simulated time with a time-of-day view."""
+
+    def __init__(self, start_hour: float = 12.0) -> None:
+        """``start_hour`` positions time zero within the day (default noon,
+        i.e. daytime rates apply at the start of a simulation)."""
+        if not 0.0 <= start_hour < 24.0:
+            raise NetworkError("start_hour must be in [0, 24)")
+        self._start_offset = start_hour * 3600.0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Seconds since simulation start."""
+        return self._now
+
+    @property
+    def hour_of_day(self) -> float:
+        """Current position within the 24-hour cycle, in hours."""
+        absolute = self._start_offset + self._now
+        return (absolute % SECONDS_PER_DAY) / 3600.0
+
+    def seconds_until_hour(self, hour: float) -> float:
+        """Seconds from now until the next occurrence of ``hour``."""
+        if not 0.0 <= hour < 24.0:
+            raise NetworkError("hour must be in [0, 24)")
+        current = self.hour_of_day
+        delta_hours = (hour - current) % 24.0
+        if delta_hours == 0.0:
+            delta_hours = 24.0
+        return delta_hours * 3600.0
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new ``now``."""
+        if seconds < 0:
+            raise NetworkError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def at(self, seconds: float) -> "SimClock":
+        """A copy of this clock positioned at absolute time ``seconds``."""
+        clone = SimClock(self._start_offset / 3600.0)
+        clone._now = seconds
+        return clone
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}s, hour={self.hour_of_day:.2f})"

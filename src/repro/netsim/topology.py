@@ -1,0 +1,170 @@
+"""Network topology: hosts and directed-capacity links.
+
+EASIA deployments have a database-server host (Southampton), file-server
+hosts "that may be located anywhere on the Internet", and user sites.  The
+:class:`Network` stores hosts and the links between them; each link carries
+one bandwidth profile per direction, because the paper's central finding is
+that the two directions are asymmetric (0.25 vs 0.37 Mbit/s by day, 0.58
+vs 1.94 by evening).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import NetworkError, NoRouteError, UnknownHostError
+from repro.netsim.bandwidth import BandwidthProfile
+
+__all__ = ["Host", "Link", "Network"]
+
+_ROLES = ("db_server", "file_server", "user_site", "generic")
+
+
+class Host:
+    """A named machine in the simulated topology."""
+
+    __slots__ = ("name", "role", "compute_rate")
+
+    def __init__(self, name: str, role: str = "generic", compute_rate: float = 50.0) -> None:
+        """``compute_rate`` is post-processing throughput in MByte/s of
+        input data — used by the distributed-processing benchmarks."""
+        if role not in _ROLES:
+            raise NetworkError(f"role must be one of {_ROLES}, got {role!r}")
+        if compute_rate <= 0:
+            raise NetworkError("compute_rate must be positive")
+        self.name = name
+        self.role = role
+        self.compute_rate = compute_rate
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, {self.role})"
+
+
+class Link:
+    """A bidirectional connection with per-direction bandwidth profiles."""
+
+    __slots__ = ("a", "b", "profile_ab", "profile_ba", "latency_s")
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        profile_ab: BandwidthProfile,
+        profile_ba: BandwidthProfile | None = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        if a == b:
+            raise NetworkError("a link needs two distinct hosts")
+        if latency_s < 0:
+            raise NetworkError("latency cannot be negative")
+        self.a = a
+        self.b = b
+        self.profile_ab = profile_ab
+        self.profile_ba = profile_ba or profile_ab
+        self.latency_s = latency_s
+
+    def profile(self, src: str, dst: str) -> BandwidthProfile:
+        if (src, dst) == (self.a, self.b):
+            return self.profile_ab
+        if (src, dst) == (self.b, self.a):
+            return self.profile_ba
+        raise NoRouteError(f"link {self.a}<->{self.b} does not join {src}->{dst}")
+
+
+class Network:
+    """Hosts plus links, with optional local loopback semantics.
+
+    Transfers between a host and itself are *local*: they take zero network
+    time, which is exactly the paper's "archive data where it is generated"
+    advantage.
+    """
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[frozenset, Link] = {}
+        self._default_profile: BandwidthProfile | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise NetworkError(f"host {host.name} already exists")
+        self._hosts[host.name] = host
+        return host
+
+    def add_link(self, link: Link) -> Link:
+        for end in (link.a, link.b):
+            if end not in self._hosts:
+                raise UnknownHostError(f"unknown host {end}")
+        key = frozenset((link.a, link.b))
+        if key in self._links:
+            raise NetworkError(f"link {link.a}<->{link.b} already exists")
+        self._links[key] = link
+        return link
+
+    def set_default_profile(self, profile: BandwidthProfile) -> None:
+        """Fallback bandwidth for host pairs without an explicit link."""
+        self._default_profile = profile
+
+    # -- lookup ---------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise UnknownHostError(f"unknown host {name}") from None
+
+    def hosts(self, role: str | None = None) -> list[Host]:
+        out = list(self._hosts.values())
+        if role is not None:
+            out = [h for h in out if h.role == role]
+        return out
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    def profile_between(self, src: str, dst: str) -> BandwidthProfile:
+        """The bandwidth profile governing a ``src`` -> ``dst`` transfer."""
+        self.host(src)
+        self.host(dst)
+        if src == dst:
+            raise NoRouteError("local transfers have no network profile")
+        link = self._links.get(frozenset((src, dst)))
+        if link is not None:
+            return link.profile(src, dst)
+        if self._default_profile is not None:
+            return self._default_profile
+        raise NoRouteError(f"no link between {src} and {dst}")
+
+    def latency_between(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        link = self._links.get(frozenset((src, dst)))
+        return link.latency_s if link is not None else 0.0
+
+    def is_local(self, src: str, dst: str) -> bool:
+        return src == dst
+
+    @classmethod
+    def paper_topology(cls, remote_sites: Iterable[str] = ("qmw.london",)) -> "Network":
+        """The measured Southampton<->remote-site setup from the paper.
+
+        ``southampton`` hosts the database server; each remote site gets a
+        link whose directional profiles match Table 1 (transfers *toward*
+        southampton see the "To Southampton" rates).
+        """
+        from repro.netsim.bandwidth import paper_profile
+
+        network = cls()
+        network.add_host(Host("southampton", role="db_server"))
+        for site in remote_sites:
+            network.add_host(Host(site, role="user_site"))
+            network.add_link(
+                Link(
+                    site,
+                    "southampton",
+                    profile_ab=paper_profile("to_southampton"),
+                    profile_ba=paper_profile("from_southampton"),
+                )
+            )
+        return network

@@ -1,0 +1,121 @@
+"""Batch-file emulation.
+
+The paper's operations startup servlet could not redirect file output of
+dynamically loaded Java classes (Sun bug 4307856: no way to set the
+current directory), so it generates a *batch file* that changes into the
+temporary directory, unpacks the code archive, and invokes a second
+interpreter.  :class:`BatchScript` reproduces that artefact: it renders
+the same shell-style script text (inspectable, shown to admins) and
+executes the equivalent steps in-process.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tarfile
+import zipfile
+
+from repro.errors import OperationExecutionError
+
+__all__ = ["BatchScript", "pack_code_archive", "unpack_archive"]
+
+_SUPPORTED_FORMATS = ("zip", "jar", "tar", "tar.gz", "tgz", "gz")
+
+
+def pack_code_archive(files: dict[str, bytes], format: str = "zip") -> bytes:
+    """Build a code archive (the shape operations are archived in).
+
+    ``files`` maps member names to contents.  Formats: zip/jar (zip
+    container) and tar/tar.gz — "various compressed archive formats (such
+    as tar.Z, gz, zip, tar etc.)".
+    """
+    format = format.lower()
+    buffer = io.BytesIO()
+    if format in ("zip", "jar"):
+        with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as zf:
+            for name, data in sorted(files.items()):
+                zf.writestr(name, data)
+    elif format in ("tar", "tar.gz", "tgz", "gz"):
+        mode = "w:gz" if format in ("tar.gz", "tgz", "gz") else "w"
+        with tarfile.open(fileobj=buffer, mode=mode) as tf:
+            for name, data in sorted(files.items()):
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tf.addfile(info, io.BytesIO(data))
+    else:
+        raise OperationExecutionError(
+            f"unsupported archive format {format!r}; use one of {_SUPPORTED_FORMATS}"
+        )
+    return buffer.getvalue()
+
+
+def unpack_archive(data: bytes, workdir: str) -> list[str]:
+    """Unpack a zip/jar or tar(.gz) archive into ``workdir``.
+
+    Member paths are confined to the working directory (no ``..`` or
+    absolute-name escapes).  Returns the extracted member names.
+    """
+    names: list[str] = []
+    workdir = os.path.abspath(workdir)
+
+    def _target(name: str) -> str:
+        full = os.path.abspath(os.path.join(workdir, name))
+        if not full.startswith(workdir + os.sep):
+            raise OperationExecutionError(f"archive member {name!r} escapes workdir")
+        return full
+
+    buffer = io.BytesIO(data)
+    if zipfile.is_zipfile(buffer):
+        with zipfile.ZipFile(buffer) as zf:
+            for info in zf.infolist():
+                if info.is_dir():
+                    continue
+                target = _target(info.filename)
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                with open(target, "wb") as fh:
+                    fh.write(zf.read(info))
+                names.append(info.filename)
+        return names
+    buffer.seek(0)
+    try:
+        with tarfile.open(fileobj=buffer) as tf:
+            for member in tf.getmembers():
+                if not member.isfile():
+                    continue
+                target = _target(member.name)
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                extracted = tf.extractfile(member)
+                with open(target, "wb") as fh:
+                    fh.write(extracted.read())
+                names.append(member.name)
+        return names
+    except tarfile.TarError as exc:
+        raise OperationExecutionError(f"unrecognised code archive: {exc}") from exc
+
+
+class BatchScript:
+    """The dynamically created batch file for one invocation."""
+
+    def __init__(self, workdir: str, archive_name: str | None,
+                 entry_point: str, dataset_name: str) -> None:
+        self.workdir = workdir
+        self.archive_name = archive_name
+        self.entry_point = entry_point
+        self.dataset_name = dataset_name
+
+    def render(self) -> str:
+        """The script text, as the startup servlet would write it."""
+        lines = ["#!/bin/sh", f"cd {self.workdir}"]
+        if self.archive_name:
+            lines.append(f"unpack {self.archive_name}")
+        lines.append(f"interpreter {self.entry_point} {self.dataset_name}")
+        return "\n".join(lines) + "\n"
+
+    def steps(self) -> list[str]:
+        """The abstract steps, for tests/monitoring."""
+        out = [f"cd {self.workdir}"]
+        if self.archive_name:
+            out.append(f"unpack {self.archive_name}")
+        out.append(f"run {self.entry_point}({self.dataset_name})")
+        return out

@@ -1,0 +1,98 @@
+"""Operation result caching (paper "Future": "Caching operations results").
+
+Datasets under FILE LINK CONTROL are immutable — the file server blocks
+renames, deletes and (with WRITE PERMISSION BLOCKED) overwrites — so a
+result keyed by (operation, dataset URL, parameters) stays valid for as
+long as the link exists.  The cache is a bounded LRU; unlink events should
+call :meth:`invalidate_dataset`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["OperationCache", "CachedResult"]
+
+
+class CachedResult:
+    """The subset of an OperationResult worth keeping."""
+
+    __slots__ = ("outputs", "stdout", "dataset_bytes")
+
+    def __init__(self, outputs: dict[str, bytes], stdout: str, dataset_bytes: int) -> None:
+        self.outputs = outputs
+        self.stdout = stdout
+        self.dataset_bytes = dataset_bytes
+
+
+class OperationCache:
+    """Bounded LRU keyed by (operation, dataset URL, sorted params)."""
+
+    def __init__(self, max_entries: int = 128, max_bytes: int = 256 * 1024 * 1024) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(operation: str, dataset_url: str, params: dict[str, Any]) -> tuple:
+        return (operation, dataset_url, tuple(sorted(params.items())))
+
+    def get(self, key: tuple) -> CachedResult | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, result) -> None:
+        size = sum(len(d) for d in result.outputs.values())
+        if size > self.max_bytes:
+            return  # too large to be worth keeping
+        if key in self._entries:
+            self._evict_one(key)
+        entry = CachedResult(dict(result.outputs), result.stdout, result.dataset_bytes)
+        self._entries[key] = entry
+        self._bytes += size
+        while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
+            oldest = next(iter(self._entries))
+            self._evict_one(oldest)
+
+    def _evict_one(self, key: tuple) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= sum(len(d) for d in entry.outputs.values())
+
+    def invalidate_dataset(self, dataset_url: str) -> int:
+        """Drop every entry for one dataset (call on unlink)."""
+        stale = [k for k in self._entries if k[1] == dataset_url]
+        for key in stale:
+            self._evict_one(key)
+        return len(stale)
+
+    def invalidate_file(self, host: str, path: str) -> int:
+        """Drop entries whose dataset URL points at ``host``/``path``,
+        whatever the scheme — the shape unlink notifications arrive in."""
+        suffix = f"//{host}{path}"
+        stale = [
+            k for k in self._entries
+            if isinstance(k[1], str) and k[1].endswith(suffix)
+        ]
+        for key in stale:
+            self._evict_one(key)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes

@@ -1,0 +1,156 @@
+"""Operation execution statistics (paper "Future": "Store operation
+statistics (execution time, output details) for benefit of future users").
+
+Every invocation records its elapsed time and byte counts; the aggregate
+view per operation is what the interface would show next to each
+operation link ("typically takes 0.2 s, returns ~64 KB from a 32 MB
+dataset").
+"""
+
+from __future__ import annotations
+
+__all__ = ["OperationStats", "OperationSummary"]
+
+
+class OperationSummary:
+    """Aggregate over all recorded invocations of one operation."""
+
+    __slots__ = (
+        "name", "invocations", "cache_hits", "total_elapsed",
+        "min_elapsed", "max_elapsed", "total_dataset_bytes",
+        "total_output_bytes",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.invocations = 0
+        self.cache_hits = 0
+        self.total_elapsed = 0.0
+        self.min_elapsed = float("inf")
+        self.max_elapsed = 0.0
+        self.total_dataset_bytes = 0
+        self.total_output_bytes = 0
+
+    @property
+    def mean_elapsed(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.total_elapsed / self.invocations
+
+    @property
+    def mean_output_bytes(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.total_output_bytes / self.invocations
+
+    @property
+    def mean_reduction_factor(self) -> float:
+        if self.total_output_bytes == 0:
+            return float("inf")
+        return self.total_dataset_bytes / self.total_output_bytes
+
+    def describe(self) -> str:
+        """One line for the interface ("for benefit of future users")."""
+        return (
+            f"{self.name}: {self.invocations} run(s), "
+            f"mean {self.mean_elapsed * 1000:.1f} ms, "
+            f"mean output {self.mean_output_bytes / 1024:.1f} KB, "
+            f"data reduction {self.mean_reduction_factor:.0f}x"
+        )
+
+
+class OperationStats:
+    """Per-operation statistics store."""
+
+    def __init__(self) -> None:
+        self._summaries: dict[str, OperationSummary] = {}
+
+    def _summary(self, name: str) -> OperationSummary:
+        summary = self._summaries.get(name)
+        if summary is None:
+            summary = OperationSummary(name)
+            self._summaries[name] = summary
+        return summary
+
+    def record(self, name: str, elapsed: float, dataset_bytes: int,
+               output_bytes: int) -> None:
+        summary = self._summary(name)
+        summary.invocations += 1
+        summary.total_elapsed += elapsed
+        summary.min_elapsed = min(summary.min_elapsed, elapsed)
+        summary.max_elapsed = max(summary.max_elapsed, elapsed)
+        summary.total_dataset_bytes += dataset_bytes
+        summary.total_output_bytes += output_bytes
+
+    def record_cache_hit(self, name: str) -> None:
+        self._summary(name).cache_hits += 1
+
+    def summary(self, name: str) -> OperationSummary | None:
+        return self._summaries.get(name)
+
+    def summaries(self) -> list[OperationSummary]:
+        return sorted(self._summaries.values(), key=lambda s: s.name)
+
+    def report(self) -> str:
+        return "\n".join(s.describe() for s in self.summaries())
+
+    # -- persistence ("store operation statistics ... for benefit of
+    # future users" — stored in the archive database itself) --------------
+
+    TABLE_DDL = (
+        "CREATE TABLE IF NOT EXISTS OPERATION_STATS ("
+        " NAME VARCHAR(80) PRIMARY KEY,"
+        " INVOCATIONS INTEGER,"
+        " CACHE_HITS INTEGER,"
+        " TOTAL_ELAPSED DOUBLE,"
+        " MIN_ELAPSED DOUBLE,"
+        " MAX_ELAPSED DOUBLE,"
+        " TOTAL_DATASET_BYTES INTEGER,"
+        " TOTAL_OUTPUT_BYTES INTEGER)"
+    )
+
+    def persist(self, db) -> int:
+        """Write every summary into the OPERATION_STATS table (replacing
+        prior contents).  Returns the number of rows written."""
+        db.execute(self.TABLE_DDL)
+        db.execute("DELETE FROM OPERATION_STATS")
+        for summary in self.summaries():
+            db.execute(
+                "INSERT INTO OPERATION_STATS VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    summary.name,
+                    summary.invocations,
+                    summary.cache_hits,
+                    summary.total_elapsed,
+                    0.0 if summary.min_elapsed == float("inf")
+                    else summary.min_elapsed,
+                    summary.max_elapsed,
+                    summary.total_dataset_bytes,
+                    summary.total_output_bytes,
+                ),
+            )
+        return len(self._summaries)
+
+    @classmethod
+    def load(cls, db) -> "OperationStats":
+        """Rebuild a statistics store from the database (e.g. after an
+        archive restart), so history accumulates across sessions."""
+        stats = cls()
+        if not db.catalog.has_table("OPERATION_STATS"):
+            return stats
+        result = db.execute(
+            "SELECT NAME, INVOCATIONS, CACHE_HITS, TOTAL_ELAPSED, "
+            "MIN_ELAPSED, MAX_ELAPSED, TOTAL_DATASET_BYTES, "
+            "TOTAL_OUTPUT_BYTES FROM OPERATION_STATS"
+        )
+        for (name, invocations, cache_hits, total, lo, hi,
+             dataset_bytes, output_bytes) in result.rows:
+            summary = stats._summary(name)
+            summary.invocations = invocations
+            summary.cache_hits = cache_hits
+            summary.total_elapsed = total
+            summary.min_elapsed = lo if invocations else float("inf")
+            summary.max_elapsed = hi
+            summary.total_dataset_bytes = dataset_bytes
+            summary.total_output_bytes = output_bytes
+        return stats

@@ -1,0 +1,116 @@
+"""User code upload for secure server-side execution.
+
+Paper: "Authorised users can upload Java code for secure server-side
+execution against datasets stored as DATALINKs on file server hosts.
+Code must accept filename as first command line parameter.  Code must
+write output to relative filenames."
+
+:class:`CodeUploader` enforces the policy chain:
+
+* the XUIS must declare ``<upload>`` on the target DATALINK column,
+* the upload's ``<if>`` conditions must hold for the target row,
+* guest users are refused unless ``guest.access="true"``,
+* the archive runs under the *strict* sandbox policy (the "special secure
+  application class"), in a fresh session-named temporary directory.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import AuthorizationError, OperationError, OperationNotApplicable
+from repro.operations.batch import BatchScript, unpack_archive
+from repro.operations.executor import OperationEngine, OperationResult
+from repro.operations.sandbox import SandboxPolicy
+from repro.sqldb.types import DatalinkValue
+from repro.xuis.model import OperationSpec
+
+__all__ = ["CodeUploader"]
+
+
+class CodeUploader:
+    """Runs user-uploaded code archives against archived datasets."""
+
+    def __init__(self, engine: OperationEngine) -> None:
+        self.engine = engine
+
+    def run_upload(
+        self,
+        colid: str,
+        row: dict[str, Any],
+        archive: bytes,
+        class_name: str,
+        user=None,
+        params: dict[str, Any] | None = None,
+        session_tag: str = "upload",
+    ) -> OperationResult:
+        """Execute an uploaded archive's ``class_name`` against the row's
+        dataset.  ``class_name`` is the user's requested entry point (the
+        paper's reflection target), e.g. ``MyAnalysis`` ->
+        ``MyAnalysis.py`` inside the archive."""
+        column = self.engine.document.column(colid)
+        upload = column.upload
+        if upload is None:
+            raise OperationError(f"column {colid} does not accept code uploads")
+        if not upload.applies_to(row):
+            raise OperationNotApplicable(
+                "code upload is not permitted for this row"
+            )
+        if user is not None and user.is_guest and not upload.guest_access:
+            raise AuthorizationError("guest users cannot upload post-processing codes")
+
+        dataset = row.get(colid)
+        if not isinstance(dataset, DatalinkValue):
+            raise OperationError(f"row has no DATALINK dataset in column {colid}")
+        server = self.engine.linker.server(dataset.host)
+        data = server.filesystem.read(dataset.server_path)
+
+        workdir = self.engine.sandbox.make_workdir(session_tag)
+        try:
+            with open(f"{workdir}/{dataset.filename}", "wb") as fh:
+                fh.write(data)
+            members = unpack_archive(archive, workdir)
+            entry = self._entry_point(class_name, members)
+            with open(f"{workdir}/{entry}", encoding="utf-8") as fh:
+                source = fh.read()
+            script = BatchScript(workdir, "upload.jar", entry, dataset.filename)
+            import time
+
+            started = time.perf_counter()
+            sandbox_result = self.engine.sandbox.run_source(
+                source,
+                workdir,
+                dataset.filename,
+                params or {},
+                policy=SandboxPolicy.for_uploads(),
+            )
+            pseudo_op = OperationSpec(
+                f"upload:{class_name}", type=upload.type, format=upload.format
+            )
+            result = OperationResult(
+                pseudo_op,
+                sandbox_result.outputs,
+                sandbox_result.stdout,
+                batch_script=script,
+                elapsed=time.perf_counter() - started,
+                dataset_bytes=len(data),
+            )
+            self.engine.stats.record(
+                pseudo_op.name, result.elapsed,
+                result.dataset_bytes, result.output_bytes,
+            )
+            return result
+        finally:
+            if not self.engine.keep_workdirs:
+                self.engine.sandbox.cleanup(workdir)
+
+    @staticmethod
+    def _entry_point(class_name: str, members: list[str]) -> str:
+        candidates = [f"{class_name}.py", class_name, "main.py"]
+        for candidate in candidates:
+            if candidate in members:
+                return candidate
+        raise OperationError(
+            f"uploaded archive has no entry point for class {class_name!r} "
+            f"(members: {sorted(members)})"
+        )

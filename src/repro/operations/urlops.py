@@ -1,0 +1,115 @@
+"""URL operations: external post-processing services.
+
+Paper: "The XUIS can also specify operations as URLs.  These correspond to
+Servlet or CGI based post-processing services running on the same host as
+a particular DATALINK file server" — the example being NCSA's Scientific
+Data Browser for HDF datasets.
+
+:func:`scientific_data_browser` is a faithful stand-in for that service:
+given a dataset, it returns an HTML summary page describing the file's
+structure, which is what SDB fundamentally did.  Registered with the
+engine via :meth:`OperationEngine.register_url_service`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["scientific_data_browser", "identity_service"]
+
+
+def scientific_data_browser(data: bytes, params: dict[str, Any]) -> dict[str, bytes]:
+    """A summary-page service in the spirit of the NCSA SDB.
+
+    Understands the turbulence dataset container (``TURB`` magic) well
+    enough to describe its grid and fields; for anything else it reports
+    size and a hex preview.
+    """
+    lines = ["<html><body><h1>Scientific Data Browser</h1>"]
+    if data[:4] == b"TURB":
+        import struct
+
+        nx, ny, nz = struct.unpack("<iii", data[4:16])
+        lines.append("<p>Format: TURB turbulence snapshot</p>")
+        lines.append(f"<p>Grid: {nx} x {ny} x {nz}</p>")
+        lines.append("<p>Fields: u, v, w (velocity components), p (pressure)</p>")
+        expected = 16 + 4 * nx * ny * nz * 4
+        status = "consistent" if expected == len(data) else "TRUNCATED"
+        lines.append(f"<p>Payload: {len(data)} bytes ({status})</p>")
+    else:
+        preview = data[:16].hex()
+        lines.append(f"<p>Unrecognised format; {len(data)} bytes</p>")
+        lines.append(f"<p>First bytes: {preview}</p>")
+    lines.append("</body></html>")
+    return {"sdb.html": "".join(lines).encode("utf-8")}
+
+
+def identity_service(data: bytes, params: dict[str, Any]) -> dict[str, bytes]:
+    """Trivial service that echoes the dataset back (testing aid)."""
+    return {"echo.bin": data}
+
+
+def interactive_slice_browser(data: bytes, params: dict[str, Any]) -> dict[str, bytes]:
+    """Applet-style interactive operation (paper future work: "Interactive
+    applet based operations").
+
+    Renders every x-slice of one field server-side and embeds them in a
+    single self-contained HTML page with JavaScript slider controls — the
+    modern equivalent of shipping a Java applet next to the data.  The
+    user interactively browses the whole dataset while only O(n^3) bytes
+    of *images* (not the 4-field float data) cross the network once.
+    """
+    import base64
+    import struct
+
+    if data[:4] != b"TURB":
+        raise ValueError("interactive browser requires a TURB snapshot")
+    nx, ny, nz = struct.unpack("<iii", data[4:16])
+    count = nx * ny * nz
+    component = str(params.get("type", "u"))
+    offsets = {"u": 0, "v": 1, "w": 2, "p": 3}
+    if component not in offsets:
+        raise ValueError("type must be one of u, v, w, p")
+
+    import array
+
+    values = array.array("f")
+    start = 16 + offsets[component] * 4 * count
+    values.frombytes(data[start:start + 4 * count])
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+
+    header = f"P5\n{nz} {ny}\n255\n".encode("ascii")
+    slices = []
+    for i in range(nx):
+        pixels = bytearray()
+        for j in range(ny):
+            base = (i * ny + j) * nz
+            pixels.extend(
+                int(255 * (values[base + k] - lo) / span) for k in range(nz)
+            )
+        slices.append(
+            base64.b64encode(header + bytes(pixels)).decode("ascii")
+        )
+
+    slice_array = ",".join(f'"{s}"' for s in slices)
+    html = f"""<html><head><title>Interactive slice browser</title></head>
+<body>
+<h1>Interactive slice browser — component {component}</h1>
+<p>Grid {nx} x {ny} x {nz}; drag the slider to move through x.</p>
+<input type="range" id="slice" min="0" max="{nx - 1}" value="0"
+       oninput="show(this.value)"/>
+<span id="label">x0</span>
+<div><img id="view" width="{nz * 8}" height="{ny * 8}"
+     style="image-rendering: pixelated"/></div>
+<script>
+var slices = [{slice_array}];
+function show(i) {{
+  document.getElementById("label").textContent = "x" + i;
+  document.getElementById("view").src = "data:image/x-portable-graymap;base64," + slices[i];
+}}
+show(0);
+</script>
+</body></html>"""
+    return {"browser.html": html.encode("utf-8")}

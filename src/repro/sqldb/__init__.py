@@ -1,0 +1,45 @@
+"""A from-scratch object-relational engine.
+
+This package is the database substrate beneath the EASIA reproduction.  It
+provides the pieces the paper's architecture relies on:
+
+* an SQL subset (DDL + DML + queries with joins, aggregates and LIKE),
+* a system catalog rich enough to drive automatic interface generation
+  (tables, columns, types, primary keys, foreign keys, sample values),
+* primary-key / foreign-key referential integrity,
+* BLOB, CLOB and DATALINK column types,
+* transactions with rollback, a write-ahead log, crash recovery, and
+  coordinated backup that includes externally linked files.
+
+The public entry point is :class:`repro.sqldb.Database`:
+
+>>> from repro.sqldb import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(20))")
+>>> _ = db.execute("INSERT INTO t VALUES (1, 'alpha')")
+>>> db.execute("SELECT name FROM t WHERE id = 1").scalar()
+'alpha'
+"""
+
+from repro.sqldb.database import Database, Result
+from repro.sqldb.schema import Column, ForeignKey, TableSchema
+from repro.sqldb.types import (
+    Blob,
+    Clob,
+    DatalinkValue,
+    SqlType,
+    type_from_name,
+)
+
+__all__ = [
+    "Database",
+    "Result",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Blob",
+    "Clob",
+    "DatalinkValue",
+    "SqlType",
+    "type_from_name",
+]

@@ -1,0 +1,518 @@
+"""SELECT execution: scans, index lookups, joins, grouping and ordering.
+
+The executor materialises joined row *environments* (dicts mapping
+``ALIAS.COLUMN`` — plus unambiguous bare column names — to values) and
+evaluates expressions against them.  This keeps evaluation uniform between
+WHERE clauses, join conditions, select items, CHECK constraints and the
+operations layer's XUIS ``<condition>`` elements, which reuse the same
+expression engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import CatalogError, SqlSyntaxError
+from repro.sqldb.expressions import (
+    AggregateCall,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    InSubquery,
+    Star,
+    Subquery,
+    truthy,
+)
+from repro.sqldb.parser.ast_nodes import Join, SelectItem, SelectStmt, TableRef
+from repro.sqldb.planner import conjuncts, constant_equalities, join_equalities
+from repro.sqldb.storage import _NullsFirstKey
+
+__all__ = ["Executor", "SelectResult"]
+
+
+class SelectResult:
+    """Materialised result of a SELECT: column names plus row tuples."""
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[tuple],
+        plan: list[str],
+        items: list[SelectItem] | None = None,
+        alias_tables: dict[str, str] | None = None,
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+        #: access-path descriptions, surfaced through Database.explain()
+        self.plan = plan
+        #: expanded select items (stars resolved); lets the database layer
+        #: map output columns back to source table columns (for DATALINK
+        #: token decoration and the web layer's browse links)
+        self.items = items or []
+        #: FROM-clause alias -> real table name
+        self.alias_tables = alias_tables or {}
+
+
+class _BoundTable:
+    """A FROM-clause entry resolved against the catalog."""
+
+    __slots__ = ("alias", "table", "schema", "join_kind", "join_on")
+
+    def __init__(self, alias: str, table, join_kind: str | None = None,
+                 join_on: Expression | None = None) -> None:
+        self.alias = alias
+        self.table = table
+        self.schema = table.schema
+        self.join_kind = join_kind  # None for the first table / cross joins
+        self.join_on = join_on
+
+
+class Executor:
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+        self._expanding_views: set[str] = set()
+
+    # -- public ----------------------------------------------------------------
+
+    def execute_select(self, stmt: SelectStmt, params: Sequence[Any] = ()) -> SelectResult:
+        self.bind_subqueries(self._statement_expressions(stmt), params)
+        bound = self._bind_tables(stmt)
+        plan: list[str] = []
+        if bound:
+            unambiguous = self._unambiguous_columns(bound)
+            envs = self._produce_envs(stmt, bound, unambiguous, params, plan)
+        else:
+            # SELECT without FROM: a single empty environment.
+            envs = iter([{}])
+            plan.append("no FROM clause: single empty row")
+
+        where_conjuncts = conjuncts(stmt.where)
+        if stmt.where is not None:
+            envs = (
+                env for env in envs
+                if all(truthy(p.evaluate(env, params)) for p in where_conjuncts)
+            )
+
+        items = self._expand_items(stmt, bound)
+        grouped = bool(stmt.group_by) or any(
+            item.expr is not None and item.expr.contains_aggregate()
+            for item in items
+        ) or (stmt.having is not None and stmt.having.contains_aggregate())
+
+        if grouped:
+            # GROUP BY may name a select-list alias, like ORDER BY.
+            alias_exprs = {
+                item.alias: item.expr for item in items if item.alias
+            }
+            group_exprs = []
+            for expr in stmt.group_by:
+                if (
+                    isinstance(expr, ColumnRef)
+                    and expr.table is None
+                    and expr.column in alias_exprs
+                ):
+                    expr = alias_exprs[expr.column]
+                group_exprs.append(expr)
+            envs = self._group(stmt, items, envs, params, group_exprs)
+            plan.append(
+                f"hash aggregate on {len(stmt.group_by)} grouping expression(s)"
+            )
+        elif stmt.having is not None:
+            raise SqlSyntaxError("HAVING requires GROUP BY or aggregates")
+
+        columns = [self._item_label(item, i) for i, item in enumerate(items)]
+        output: list[tuple[dict, tuple]] = []
+        for env in envs:
+            row = tuple(item.expr.evaluate(env, params) for item in items)
+            output.append((env, row))
+
+        if stmt.distinct:
+            seen: list[tuple] = []
+            deduped = []
+            for env, row in output:
+                key = tuple(_NullsFirstKey((v,)) for v in row)
+                if key not in seen:
+                    seen.append(key)
+                    deduped.append((env, row))
+            output = deduped
+
+        if stmt.order_by:
+            # ORDER BY may name a select-list alias (ORDER BY n for
+            # "COUNT(*) AS n"); resolve those to the aliased expression.
+            alias_exprs = {
+                item.alias: item.expr for item in items if item.alias
+            }
+            order_exprs = []
+            for order in stmt.order_by:
+                expr = order.expr
+                if (
+                    isinstance(expr, ColumnRef)
+                    and expr.table is None
+                    and expr.column in alias_exprs
+                ):
+                    expr = alias_exprs[expr.column]
+                order_exprs.append((expr, order.ascending))
+
+            def order_key(pair):
+                env, _row = pair
+                return tuple(
+                    _SortPart(
+                        _NullsFirstKey((expr.evaluate(env, params),)),
+                        ascending,
+                    )
+                    for expr, ascending in order_exprs
+                )
+            output.sort(key=order_key)
+
+        rows = [row for _env, row in output]
+        if stmt.offset:
+            rows = rows[stmt.offset:]
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        alias_tables = {b.alias: b.schema.name for b in bound}
+        return SelectResult(columns, rows, plan, items, alias_tables)
+
+    # -- subquery materialisation ---------------------------------------------
+
+    @staticmethod
+    def _statement_expressions(stmt: SelectStmt) -> list[Expression]:
+        out: list[Expression] = []
+        for item in stmt.items:
+            if item.expr is not None:
+                out.append(item.expr)
+        for join in stmt.joins:
+            if join.on is not None:
+                out.append(join.on)
+        if stmt.where is not None:
+            out.append(stmt.where)
+        out.extend(stmt.group_by)
+        if stmt.having is not None:
+            out.append(stmt.having)
+        out.extend(order.expr for order in stmt.order_by)
+        return out
+
+    def bind_subqueries(self, exprs: list[Expression], params: Sequence[Any]) -> None:
+        """Materialise every (uncorrelated) subquery once per execution.
+
+        Nested subqueries are handled by the recursive execute_select call;
+        a correlated subquery surfaces as an unknown-column error from its
+        standalone execution.
+        """
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, (Subquery, InSubquery, ExistsSubquery)):
+                    result = self.execute_select(node.select, params)
+                    node.bind(result.rows)
+
+    # -- binding ------------------------------------------------------------------
+
+    def _bind_tables(self, stmt: SelectStmt) -> list[_BoundTable]:
+        bound: list[_BoundTable] = []
+        seen_aliases: set[str] = set()
+
+        def bind(ref: TableRef, kind: str | None, on: Expression | None) -> None:
+            if ref.alias in seen_aliases:
+                raise CatalogError(f"duplicate table alias {ref.alias}")
+            seen_aliases.add(ref.alias)
+            bound.append(
+                _BoundTable(ref.alias, self._resolve_relation(ref.name), kind, on)
+            )
+
+        for i, ref in enumerate(stmt.tables):
+            bind(ref, None if i == 0 else "CROSS", None)
+        for join in stmt.joins:
+            bind(join.table, join.kind, join.on)
+        return bound
+
+    def _resolve_relation(self, name: str):
+        """A FROM-clause name is either a base table or a view; views are
+        materialised into a transient table by running their stored SELECT."""
+        name = name.upper()
+        if not self._catalog.is_view(name):
+            return self._catalog.table(name)
+        if name in self._expanding_views:
+            raise CatalogError(f"view {name} is recursively defined")
+        from repro.sqldb.schema import Column, TableSchema
+        from repro.sqldb.types import AnyType
+
+        self._expanding_views.add(name)
+        try:
+            result = self.execute_select(self._catalog.view_select(name))
+        finally:
+            self._expanding_views.discard(name)
+        seen: set[str] = set()
+        columns = []
+        for label in result.columns:
+            if label in seen:
+                raise CatalogError(
+                    f"view {name} has duplicate output column {label}; "
+                    f"alias the select items"
+                )
+            seen.add(label)
+            columns.append(Column(label, AnyType()))
+        from repro.sqldb.storage import Table
+
+        table = Table(TableSchema(name, columns))
+        for row in result.rows:
+            table.insert(row)
+        return table
+
+    @staticmethod
+    def _unambiguous_columns(bound: list[_BoundTable]) -> dict[str, str]:
+        """Map bare column name -> owning alias when unique across tables."""
+        counts: dict[str, list[str]] = {}
+        for entry in bound:
+            for name in entry.schema.column_names:
+                counts.setdefault(name, []).append(entry.alias)
+        return {
+            name: aliases[0]
+            for name, aliases in counts.items()
+            if len(aliases) == 1
+        }
+
+    # -- row production --------------------------------------------------------------
+
+    def _produce_envs(
+        self,
+        stmt: SelectStmt,
+        bound: list[_BoundTable],
+        unambiguous: dict[str, str],
+        params: Sequence[Any],
+        plan: list[str],
+    ) -> Iterator[dict]:
+        where_conjuncts = conjuncts(stmt.where)
+        equalities = constant_equalities(where_conjuncts, params)
+
+        def env_for(entry: _BoundTable, row: tuple | None) -> dict:
+            env: dict[str, Any] = {}
+            for i, name in enumerate(entry.schema.column_names):
+                value = None if row is None else row[i]
+                env[f"{entry.alias}.{name}"] = value
+                if unambiguous.get(name) == entry.alias:
+                    env[name] = value
+            return env
+
+        first = bound[0]
+        base_rows = self._access_path(first, equalities, plan)
+        envs: Iterator[dict] = (env_for(first, row) for row in base_rows)
+
+        for entry in bound[1:]:
+            envs = self._join_one(entry, envs, env_for, equalities, params, plan)
+        return envs
+
+    def _access_path(
+        self,
+        entry: _BoundTable,
+        equalities: list[tuple[ColumnRef, Any]],
+        plan: list[str],
+    ) -> Iterator[tuple]:
+        """Choose index point-lookup vs sequential scan for a base table.
+
+        Collects every ``column = constant`` binding on this table, then
+        looks for an index whose full key is covered — so composite
+        primary keys (FILE_NAME, SIMULATION_KEY) get point lookups too.
+        """
+        bound: dict[str, Any] = {}
+        for ref, value in equalities:
+            if ref.table is not None and ref.table != entry.alias:
+                continue
+            if not entry.schema.has_column(ref.column):
+                continue
+            if ref.table is None and unqualified_is_ambiguous(entry, ref.column):
+                continue
+            try:
+                bound[ref.column] = entry.schema.column(
+                    ref.column
+                ).type.validate(value)
+            except Exception:
+                continue  # incomparable constant: not usable for a lookup
+
+        if bound:
+            best = None
+            for index in entry.table.indexes.values():
+                if all(column in bound for column in index.columns):
+                    if best is None or len(index.columns) > len(best.columns):
+                        best = index
+            if best is not None:
+                key = tuple(bound[column] for column in best.columns)
+                plan.append(
+                    f"index lookup {entry.alias} via {best.name} "
+                    f"({', '.join(best.columns)} = {key!r})"
+                )
+                rowids = best.find(key)
+                return iter([entry.table.row(rowid) for rowid in rowids])
+        plan.append(f"seq scan {entry.alias} ({len(entry.table)} rows)")
+        return (row for _rowid, row in entry.table.scan())
+
+    def _join_one(
+        self,
+        entry: _BoundTable,
+        outer_envs: Iterator[dict],
+        env_for,
+        equalities: list[tuple[ColumnRef, Any]],
+        params: Sequence[Any],
+        plan: list[str],
+    ) -> Iterator[dict]:
+        kind = entry.join_kind or "CROSS"
+        keys = join_equalities(entry.join_on, entry.alias) if entry.join_on else []
+        index = None
+        key_pair = None
+        for outer_ref, inner_ref in keys:
+            candidate = entry.table.index_leading_on(inner_ref.column)
+            if candidate is not None:
+                index = candidate
+                key_pair = (outer_ref, inner_ref)
+                break
+        if index is not None:
+            plan.append(
+                f"index nested-loop join {entry.alias} via {index.name}"
+            )
+        else:
+            plan.append(f"nested-loop join {entry.alias} ({kind.lower()})")
+
+        def generate() -> Iterator[dict]:
+            inner_rows = None
+            if index is None:
+                inner_rows = [row for _rowid, row in entry.table.scan()]
+            for outer_env in outer_envs:
+                matched = False
+                if index is not None:
+                    outer_ref, _inner_ref = key_pair
+                    value = outer_ref.evaluate(outer_env, params)
+                    candidates = (
+                        [entry.table.row(rowid) for rowid in index.find((value,))]
+                        if value is not None
+                        else []
+                    )
+                else:
+                    candidates = inner_rows
+                for row in candidates:
+                    env = {**outer_env, **env_for(entry, row)}
+                    if entry.join_on is not None and not truthy(
+                        entry.join_on.evaluate(env, params)
+                    ):
+                        continue
+                    matched = True
+                    yield env
+                if kind == "LEFT" and not matched:
+                    yield {**outer_env, **env_for(entry, None)}
+
+        return generate()
+
+    # -- select list ---------------------------------------------------------------------
+
+    def _expand_items(self, stmt: SelectStmt, bound: list[_BoundTable]) -> list[SelectItem]:
+        items: list[SelectItem] = []
+        for item in stmt.items:
+            if not item.is_star:
+                items.append(item)
+                continue
+            targets = bound
+            if item.star_table is not None:
+                targets = [b for b in bound if b.alias == item.star_table]
+                if not targets:
+                    raise CatalogError(f"unknown table {item.star_table} in select list")
+            if not targets:
+                raise SqlSyntaxError("'*' requires a FROM clause")
+            for entry in targets:
+                for name in entry.schema.column_names:
+                    items.append(
+                        SelectItem(ColumnRef(name, table=entry.alias), alias=name)
+                    )
+        return items
+
+    @staticmethod
+    def _item_label(item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.column
+        if isinstance(item.expr, AggregateCall):
+            return item.expr.name
+        return f"EXPR{position + 1}"
+
+    # -- grouping -------------------------------------------------------------------------
+
+    def _group(
+        self,
+        stmt: SelectStmt,
+        items: list[SelectItem],
+        envs: Iterator[dict],
+        params: Sequence[Any],
+        group_exprs: list[Expression] | None = None,
+    ) -> Iterator[dict]:
+        if group_exprs is None:
+            group_exprs = list(stmt.group_by)
+        aggregates: list[AggregateCall] = []
+        for item in items:
+            for node in item.expr.walk():
+                if isinstance(node, AggregateCall):
+                    aggregates.append(node)
+        if stmt.having is not None:
+            for node in stmt.having.walk():
+                if isinstance(node, AggregateCall):
+                    aggregates.append(node)
+        # De-duplicate by key so COUNT(*) appearing twice folds once.
+        unique_aggs: dict[str, AggregateCall] = {}
+        for agg in aggregates:
+            unique_aggs.setdefault(agg.key, agg)
+
+        groups: dict[tuple, dict] = {}
+        for env in envs:
+            key_values = tuple(
+                expr.evaluate(env, params) for expr in group_exprs
+            )
+            key = tuple(_NullsFirstKey((v,)) for v in key_values)
+            group = groups.get(key)
+            if group is None:
+                group = {"env": env, "inputs": {k: [] for k in unique_aggs}}
+                groups[key] = group
+            for agg_key, agg in unique_aggs.items():
+                if isinstance(agg.arg, Star):
+                    group["inputs"][agg_key].append(1)
+                else:
+                    value = agg.arg.evaluate(env, params)
+                    if value is not None:
+                        group["inputs"][agg_key].append(value)
+
+        if not groups and not stmt.group_by:
+            # Aggregate over an empty input still yields one row.
+            groups[()] = {"env": {}, "inputs": {k: [] for k in unique_aggs}}
+
+        def generate() -> Iterator[dict]:
+            for group in groups.values():
+                env = dict(group["env"])
+                for agg_key, agg in unique_aggs.items():
+                    env[agg_key] = agg.accumulate(group["inputs"][agg_key])
+                if stmt.having is not None and not truthy(
+                    stmt.having.evaluate(env, params)
+                ):
+                    continue
+                yield env
+
+        return generate()
+
+
+class _SortPart:
+    """Sort key element honouring ASC/DESC with NULLs-first semantics."""
+
+    __slots__ = ("key", "ascending")
+
+    def __init__(self, key: _NullsFirstKey, ascending: bool) -> None:
+        self.key = key
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortPart") -> bool:
+        if self.key == other.key:
+            return False
+        less = self.key < other.key
+        return less if self.ascending else not less
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortPart) and self.key == other.key
+
+
+def unqualified_is_ambiguous(entry: _BoundTable, column: str) -> bool:
+    """Used by the access-path chooser: a bare column in WHERE can only
+    drive an index on ``entry`` when it belongs to that table."""
+    return not entry.schema.has_column(column)

@@ -1,0 +1,136 @@
+"""SQL/MED DATALINK column options (ISO/IEC 9075-9 draft, Dec 1998).
+
+The paper's schema declares::
+
+    download_result DATALINK
+        LINKTYPE URL
+        FILE LINK CONTROL
+        READ PERMISSION DB
+        ...
+
+:class:`DatalinkSpec` captures the full option set from the committee
+draft.  The DDL parser attaches one of these to each DATALINK column; the
+datalink manager (``repro.datalink``) reads it to decide which behaviours
+to enforce:
+
+* ``FILE LINK CONTROL`` / ``NO LINK CONTROL`` — whether the DBMS takes
+  ownership of the referenced file (existence check at INSERT/UPDATE,
+  rename/delete blocking, token-gated access).
+* ``INTEGRITY ALL | SELECTIVE | NONE`` — how strongly renames/deletes are
+  blocked while linked.
+* ``READ PERMISSION FS | DB`` — whether reads go through filesystem
+  permissions or require a database-issued access token.
+* ``WRITE PERMISSION FS | BLOCKED`` — whether the linked file may be
+  modified in place.
+* ``RECOVERY NO | YES`` — whether the file participates in coordinated
+  backup and point-in-time recovery.
+* ``ON UNLINK RESTORE | DELETE`` — what happens to the file when its row
+  is deleted or the link is removed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+
+__all__ = ["DatalinkSpec"]
+
+_INTEGRITY = ("ALL", "SELECTIVE", "NONE")
+_READ_PERM = ("FS", "DB")
+_WRITE_PERM = ("FS", "BLOCKED")
+_ON_UNLINK = ("RESTORE", "DELETE", "NONE")
+
+
+class DatalinkSpec:
+    """Parsed DATALINK column options."""
+
+    __slots__ = (
+        "link_control",
+        "integrity",
+        "read_permission",
+        "write_permission",
+        "recovery",
+        "on_unlink",
+    )
+
+    def __init__(
+        self,
+        link_control: bool = False,
+        integrity: str = "NONE",
+        read_permission: str = "FS",
+        write_permission: str = "FS",
+        recovery: bool = False,
+        on_unlink: str = "NONE",
+    ) -> None:
+        integrity = integrity.upper()
+        read_permission = read_permission.upper()
+        write_permission = write_permission.upper()
+        on_unlink = on_unlink.upper()
+        if integrity not in _INTEGRITY:
+            raise CatalogError(f"INTEGRITY must be one of {_INTEGRITY}")
+        if read_permission not in _READ_PERM:
+            raise CatalogError(f"READ PERMISSION must be one of {_READ_PERM}")
+        if write_permission not in _WRITE_PERM:
+            raise CatalogError(f"WRITE PERMISSION must be one of {_WRITE_PERM}")
+        if on_unlink not in _ON_UNLINK:
+            raise CatalogError(f"ON UNLINK must be one of {_ON_UNLINK}")
+        if not link_control:
+            if integrity != "NONE" or read_permission != "FS" or recovery:
+                raise CatalogError(
+                    "INTEGRITY/READ PERMISSION DB/RECOVERY YES require "
+                    "FILE LINK CONTROL"
+                )
+        else:
+            if integrity == "NONE":
+                # FILE LINK CONTROL implies at least selective integrity.
+                integrity = "SELECTIVE"
+            if read_permission == "DB" and on_unlink == "NONE":
+                # The draft requires an ON UNLINK action when the DBMS owns
+                # read permission; RESTORE is the conventional default.
+                on_unlink = "RESTORE"
+        self.link_control = link_control
+        self.integrity = integrity
+        self.read_permission = read_permission
+        self.write_permission = write_permission
+        self.recovery = recovery
+        self.on_unlink = on_unlink
+
+    @classmethod
+    def paper_default(cls) -> "DatalinkSpec":
+        """The option set the paper's RESULT_FILE table uses:
+        FILE LINK CONTROL + READ PERMISSION DB (token-gated downloads),
+        with coordinated recovery."""
+        return cls(
+            link_control=True,
+            integrity="ALL",
+            read_permission="DB",
+            write_permission="BLOCKED",
+            recovery=True,
+            on_unlink="RESTORE",
+        )
+
+    @property
+    def requires_token(self) -> bool:
+        """True when SELECTs must attach an encrypted access token."""
+        return self.link_control and self.read_permission == "DB"
+
+    def ddl(self) -> str:
+        parts = ["LINKTYPE URL"]
+        if self.link_control:
+            parts.append("FILE LINK CONTROL")
+            parts.append(f"INTEGRITY {self.integrity}")
+            parts.append(f"READ PERMISSION {self.read_permission}")
+            parts.append(f"WRITE PERMISSION {self.write_permission}")
+            parts.append("RECOVERY " + ("YES" if self.recovery else "NO"))
+            if self.on_unlink != "NONE":
+                parts.append(f"ON UNLINK {self.on_unlink}")
+        else:
+            parts.append("NO LINK CONTROL")
+        return " ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DatalinkSpec) and all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __repr__(self) -> str:
+        return f"DatalinkSpec({self.ddl()!r})"

@@ -1,0 +1,164 @@
+"""SQL tokeniser.
+
+Produces a flat list of :class:`Token` objects.  Keywords are *not*
+distinguished from identifiers at this level — the parser decides by
+context, which lets schema authors use words like ``NAME`` or ``SIZE``
+freely as column names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+# token kinds
+IDENT = "IDENT"
+STRING = "STRING"
+NUMBER = "NUMBER"
+OP = "OP"
+PARAM = "PARAM"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("<>", "<=", ">=", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%(),.=<>;"
+
+
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    __slots__ = ("kind", "value", "position", "quoted")
+
+    def __init__(self, kind: str, value: str, position: int,
+                 quoted: bool = False) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+        #: a quoted identifier ("UNIQUE") is never a keyword
+        self.quoted = quoted
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def matches(self, keyword: str) -> bool:
+        """True when this token is the given keyword (case-insensitive);
+        quoted identifiers never match keywords."""
+        return (
+            self.kind == IDENT
+            and not self.quoted
+            and self.upper == keyword.upper()
+        )
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, @{self.position})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise ``sql``, raising :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # comments
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        # string literal
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(STRING, value, i))
+            continue
+        # quoted identifier
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token(IDENT, sql[i + 1 : end], i, quoted=True))
+            i = end + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        # identifier
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            tokens.append(Token(IDENT, sql[start:i], start))
+            continue
+        # parameter placeholder
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", i))
+            i += 1
+            continue
+        # operators
+        if sql[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, sql[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escaping."""
+    i = start + 1
+    out: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            # lookahead: exponent must be followed by digits or sign+digits
+            j = i + 1
+            if j < n and sql[j] in "+-":
+                j += 1
+            if j < n and sql[j].isdigit():
+                seen_exp = True
+                i = j
+            else:
+                break
+        else:
+            break
+    return sql[start:i], i

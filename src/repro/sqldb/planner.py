@@ -1,0 +1,96 @@
+"""Light-weight rule-based planning helpers.
+
+The executor consults these functions to decide between a sequential scan
+and an index lookup.  The rules cover what the EASIA workloads need:
+
+* conjunct extraction from WHERE clauses,
+* ``column = constant`` detection for index point lookups,
+* equi-join key detection (``a.x = b.y``) for index nested-loop joins.
+
+:func:`explain` renders the chosen access paths as text, which the tests
+use to pin down that indexes are actually exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.sqldb.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    Parameter,
+)
+
+__all__ = [
+    "conjuncts",
+    "constant_equalities",
+    "join_equalities",
+    "explain",
+]
+
+
+def conjuncts(expr: Expression | None) -> list[Expression]:
+    """Split a predicate on top-level ANDs."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def _constant_side(expr: Expression) -> bool:
+    return isinstance(expr, (Literal, Parameter))
+
+
+def constant_equalities(
+    predicates: Sequence[Expression],
+    params: Sequence[Any],
+) -> list[tuple[ColumnRef, Any]]:
+    """Extract ``column = constant`` bindings usable for index lookups.
+
+    Returns ``(column_ref, value)`` pairs; parameters are resolved against
+    ``params`` so prepared statements benefit from indexes too.
+    """
+    out: list[tuple[ColumnRef, Any]] = []
+    for predicate in predicates:
+        if not (isinstance(predicate, BinaryOp) and predicate.op == "="):
+            continue
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and _constant_side(right):
+            value = right.evaluate({}, params)
+            out.append((left, value))
+        elif isinstance(right, ColumnRef) and _constant_side(left):
+            value = left.evaluate({}, params)
+            out.append((right, value))
+    return out
+
+
+def join_equalities(
+    on: Expression | None,
+    right_alias: str,
+) -> list[tuple[ColumnRef, ColumnRef]]:
+    """Extract ``outer.col = inner.col`` pairs from a join condition.
+
+    Returns pairs ``(outer_ref, inner_ref)`` where ``inner_ref`` belongs to
+    the table being joined (``right_alias``); these drive index lookups on
+    the inner table.
+    """
+    pairs: list[tuple[ColumnRef, ColumnRef]] = []
+    for predicate in conjuncts(on):
+        if not (isinstance(predicate, BinaryOp) and predicate.op == "="):
+            continue
+        left, right = predicate.left, predicate.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            continue
+        if right.table == right_alias and left.table != right_alias:
+            pairs.append((left, right))
+        elif left.table == right_alias and right.table != right_alias:
+            pairs.append((right, left))
+    return pairs
+
+
+def explain(plan_steps: list[str]) -> str:
+    """Render executor-reported plan steps as an EXPLAIN-style string."""
+    return "\n".join(f"{i + 1}. {step}" for i, step in enumerate(plan_steps))

@@ -1,0 +1,255 @@
+"""Table schemas and integrity constraints.
+
+A :class:`TableSchema` bundles the column definitions with the constraints
+the engine enforces: primary key, unique sets, foreign keys, NOT NULL and
+CHECK expressions.  The catalog (``repro.sqldb.catalog``) stores these and
+exposes exactly the metadata the XUIS generator needs — the paper's
+interface builder works entirely from "referential integrity constraints in
+the DB catalogue metadata".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CatalogError, NotNullViolation, TypeMismatchError
+from repro.sqldb.types import DatalinkType, SqlType
+
+__all__ = ["Column", "ForeignKey", "TableSchema", "quote_ident"]
+
+# words that would be mis-read as constraint clauses if a column of that
+# name opened a CREATE TABLE element — generated DDL quotes them
+_DDL_CLAUSE_WORDS = frozenset({
+    "PRIMARY", "FOREIGN", "UNIQUE", "CHECK", "CONSTRAINT",
+    "NOT", "DEFAULT", "REFERENCES",
+})
+
+
+def quote_ident(name: str) -> str:
+    """Render an identifier for generated DDL, quoting it when a bare
+    spelling would collide with a constraint keyword."""
+    if name.upper() in _DDL_CLAUSE_WORDS:
+        return f'"{name}"'
+    return name
+
+
+class Column:
+    """A single column definition."""
+
+    __slots__ = ("name", "type", "nullable", "default")
+
+    def __init__(
+        self,
+        name: str,
+        type: SqlType,
+        nullable: bool = True,
+        default: Any = None,
+    ) -> None:
+        if not name:
+            raise CatalogError("column name must be non-empty")
+        self.name = name.upper()
+        self.type = type
+        self.nullable = nullable
+        self.default = default
+
+    @property
+    def is_datalink(self) -> bool:
+        return isinstance(self.type, DatalinkType)
+
+    def ddl(self) -> str:
+        parts = [quote_ident(self.name), self.type.ddl()]
+        if not self.nullable:
+            parts.append("NOT NULL")
+        if self.default is not None:
+            parts.append(f"DEFAULT {self.type.to_literal(self.default)}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Column({self.ddl()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.type == other.type
+            and self.nullable == other.nullable
+            and self.default == other.default
+        )
+
+
+class ForeignKey:
+    """A referential-integrity constraint.
+
+    ``columns`` in the owning table must either be all-NULL or match an
+    existing row in ``ref_table``'s ``ref_columns`` (which must be that
+    table's primary key or a unique set).
+    """
+
+    __slots__ = ("columns", "ref_table", "ref_columns", "name")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+        name: str | None = None,
+    ) -> None:
+        if len(columns) != len(ref_columns):
+            raise CatalogError("foreign key column count mismatch")
+        if not columns:
+            raise CatalogError("foreign key needs at least one column")
+        self.columns = tuple(c.upper() for c in columns)
+        self.ref_table = ref_table.upper()
+        self.ref_columns = tuple(c.upper() for c in ref_columns)
+        self.name = name or f"FK_{'_'.join(self.columns)}"
+
+    def ddl(self) -> str:
+        cols = ", ".join(self.columns)
+        refs = ", ".join(self.ref_columns)
+        return f"FOREIGN KEY ({cols}) REFERENCES {self.ref_table} ({refs})"
+
+    def __repr__(self) -> str:
+        return f"ForeignKey({self.ddl()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ForeignKey)
+            and self.columns == other.columns
+            and self.ref_table == other.ref_table
+            and self.ref_columns == other.ref_columns
+        )
+
+
+class TableSchema:
+    """The full definition of one table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+        unique_sets: Iterable[Sequence[str]] = (),
+        checks: Iterable[Any] = (),
+    ) -> None:
+        if not name:
+            raise CatalogError("table name must be non-empty")
+        if not columns:
+            raise CatalogError(f"table {name} needs at least one column")
+        self.name = name.upper()
+        self.columns = list(columns)
+        self._by_name = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._by_name) != len(self.columns):
+            raise CatalogError(f"duplicate column name in table {self.name}")
+
+        self.primary_key = tuple(c.upper() for c in primary_key)
+        for col in self.primary_key:
+            self.column(col).nullable = False
+        self.foreign_keys = list(foreign_keys)
+        self.unique_sets = [tuple(c.upper() for c in u) for u in unique_sets]
+        #: CHECK constraint expressions (AST nodes from repro.sqldb.expressions)
+        self.checks = list(checks)
+
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in self._by_name:
+                    raise CatalogError(
+                        f"foreign key column {col} not in table {self.name}"
+                    )
+        for uniq in self.unique_sets:
+            for col in uniq:
+                if col not in self._by_name:
+                    raise CatalogError(
+                        f"unique column {col} not in table {self.name}"
+                    )
+        for col in self.primary_key:
+            if col not in self._by_name:
+                raise CatalogError(
+                    f"primary key column {col} not in table {self.name}"
+                )
+
+    # -- column access ------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        try:
+            return self.columns[self._by_name[name.upper()]]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name.upper()} in table {self.name}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.upper() in self._by_name
+
+    def column_index(self, name: str) -> int:
+        """Positional index of a column within stored row tuples."""
+        try:
+            return self._by_name[name.upper()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name.upper()} in table {self.name}"
+            ) from None
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def datalink_columns(self) -> list[Column]:
+        """Columns of DATALINK type (drive the datalink manager hooks)."""
+        return [c for c in self.columns if c.is_datalink]
+
+    # -- row validation ------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any]) -> tuple:
+        """Type-check and coerce a full row; enforce NOT NULL.
+
+        Returns the normalised row tuple the storage layer keeps.
+        """
+        if len(row) != len(self.columns):
+            raise TypeMismatchError(
+                f"table {self.name} has {len(self.columns)} columns, "
+                f"got {len(row)} values"
+            )
+        out = []
+        for column, value in zip(self.columns, row):
+            coerced = column.type.validate(value)
+            if coerced is None and not column.nullable:
+                raise NotNullViolation(
+                    f"column {self.name}.{column.name} is NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def apply_defaults(self, names: Sequence[str], values: Sequence[Any]) -> list:
+        """Expand a partial (column-list) insert into a full row in schema
+        order, filling unnamed columns with their defaults (or NULL)."""
+        provided = {n.upper(): v for n, v in zip(names, values)}
+        unknown = set(provided) - set(self._by_name)
+        if unknown:
+            raise CatalogError(
+                f"unknown column(s) {sorted(unknown)} for table {self.name}"
+            )
+        return [
+            provided.get(c.name, c.default) for c in self.columns
+        ]
+
+    def key_of(self, row: Sequence[Any], columns: Sequence[str]) -> tuple:
+        """Project ``row`` onto ``columns`` (used for PK/FK/unique checks)."""
+        return tuple(row[self.column_index(c)] for c in columns)
+
+    def ddl(self) -> str:
+        """Render a CREATE TABLE statement equivalent to this schema."""
+        lines = [c.ddl() for c in self.columns]
+        if self.primary_key:
+            lines.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        for uniq in self.unique_sets:
+            lines.append(f"UNIQUE ({', '.join(uniq)})")
+        for fk in self.foreign_keys:
+            lines.append(fk.ddl())
+        body = ",\n  ".join(lines)
+        return f"CREATE TABLE {self.name} (\n  {body}\n)"
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"

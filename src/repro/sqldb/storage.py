@@ -1,0 +1,421 @@
+"""Row storage: heaps, indexes, and per-table constraint enforcement.
+
+A :class:`Table` owns a heap of row tuples keyed by rowid plus any number of
+indexes.  The primary key and every UNIQUE set automatically get a unique
+hash index; ``CREATE INDEX`` adds further hash or sorted indexes.  Type and
+NOT NULL validation happen in the schema layer; uniqueness is enforced
+here; referential integrity spans tables and is enforced by the database
+facade.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator, Sequence
+
+from repro.errors import CatalogError, TypeMismatchError, UniqueViolation
+
+__all__ = ["Heap", "HashIndex", "SortedIndex", "Table"]
+
+
+class Heap:
+    """Append-mostly row store addressed by integer rowids."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, tuple] = {}
+        self._next_rowid = 1
+
+    def insert(self, row: tuple, rowid: int | None = None) -> int:
+        """Store ``row``; returns its rowid.
+
+        An explicit ``rowid`` is used by rollback/recovery to reinstate a
+        row under its original identity.
+        """
+        if rowid is None:
+            rowid = self._next_rowid
+            self._next_rowid += 1
+        else:
+            if rowid in self._rows:
+                raise CatalogError(f"rowid {rowid} already present")
+            self._next_rowid = max(self._next_rowid, rowid + 1)
+        self._rows[rowid] = row
+        return rowid
+
+    def delete(self, rowid: int) -> tuple:
+        try:
+            return self._rows.pop(rowid)
+        except KeyError:
+            raise CatalogError(f"no row with rowid {rowid}") from None
+
+    def update(self, rowid: int, row: tuple) -> tuple:
+        try:
+            old = self._rows[rowid]
+        except KeyError:
+            raise CatalogError(f"no row with rowid {rowid}") from None
+        self._rows[rowid] = row
+        return old
+
+    def get(self, rowid: int) -> tuple:
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise CatalogError(f"no row with rowid {rowid}") from None
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rowid, row)`` pairs in insertion order."""
+        yield from list(self._rows.items())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class _NullsFirstKey:
+    """Total order over heterogeneous index keys: NULLs sort first, then by
+    value.  Only comparable values land in the same index, so the fallback
+    to type-name ordering is defensive."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def _rank(self) -> tuple:
+        out = []
+        for part in self.key:
+            if part is None:
+                out.append((0, 0))
+            elif isinstance(part, bool):
+                out.append((1, int(part)))
+            elif isinstance(part, (int, float)):
+                out.append((2, part))
+            else:
+                out.append((3, part))
+        return tuple(out)
+
+    def __lt__(self, other: "_NullsFirstKey") -> bool:
+        try:
+            return self._rank() < other._rank()
+        except TypeError:
+            return str(self.key) < str(other.key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsFirstKey) and self.key == other.key
+
+    def __hash__(self) -> int:
+        try:
+            return hash(self.key)
+        except TypeError:
+            return hash(repr(self.key))
+
+
+class HashIndex:
+    """Equality index over one or more columns."""
+
+    def __init__(self, name: str, columns: Sequence[str], unique: bool = False) -> None:
+        self.name = name
+        self.columns = tuple(c.upper() for c in columns)
+        self.unique = unique
+        self._entries: dict[tuple, set[int]] = {}
+
+    @staticmethod
+    def _hashable(key: tuple) -> tuple:
+        out = []
+        for part in key:
+            try:
+                hash(part)
+            except TypeError:
+                part = repr(part)
+            out.append(part)
+        return tuple(out)
+
+    def add(self, key: tuple, rowid: int) -> None:
+        if any(part is None for part in key):
+            # SQL unique semantics: NULLs never collide and are not indexed.
+            return
+        key = self._hashable(key)
+        bucket = self._entries.setdefault(key, set())
+        if self.unique and bucket:
+            raise UniqueViolation(
+                f"duplicate key {key!r} for unique index {self.name}"
+            )
+        bucket.add(rowid)
+
+    def remove(self, key: tuple, rowid: int) -> None:
+        if any(part is None for part in key):
+            return
+        key = self._hashable(key)
+        bucket = self._entries.get(key)
+        if bucket:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._entries[key]
+
+    def find(self, key: tuple) -> set[int]:
+        if any(part is None for part in key):
+            return set()
+        return set(self._entries.get(self._hashable(key), ()))
+
+    def contains(self, key: tuple) -> bool:
+        if any(part is None for part in key):
+            return False
+        return self._hashable(key) in self._entries
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class SortedIndex:
+    """Ordered index supporting range scans (used for BETWEEN / inequality
+    lookups on indexed columns)."""
+
+    def __init__(self, name: str, columns: Sequence[str], unique: bool = False) -> None:
+        self.name = name
+        self.columns = tuple(c.upper() for c in columns)
+        self.unique = unique
+        self._entries: list[tuple[_NullsFirstKey, int]] = []
+
+    def add(self, key: tuple, rowid: int) -> None:
+        if any(part is None for part in key):
+            return
+        wrapped = _NullsFirstKey(key)
+        if self.unique:
+            i = bisect_left(self._entries, (wrapped, -1))
+            if i < len(self._entries) and self._entries[i][0] == wrapped:
+                raise UniqueViolation(
+                    f"duplicate key {key!r} for unique index {self.name}"
+                )
+        insort(self._entries, (wrapped, rowid))
+
+    def remove(self, key: tuple, rowid: int) -> None:
+        if any(part is None for part in key):
+            return
+        wrapped = _NullsFirstKey(key)
+        i = bisect_left(self._entries, (wrapped, rowid))
+        if i < len(self._entries) and self._entries[i] == (wrapped, rowid):
+            del self._entries[i]
+
+    def find(self, key: tuple) -> set[int]:
+        wrapped = _NullsFirstKey(key)
+        lo = bisect_left(self._entries, (wrapped, -1))
+        out = set()
+        for entry_key, rowid in self._entries[lo:]:
+            if entry_key == wrapped:
+                out.add(rowid)
+            else:
+                break
+        return out
+
+    def contains(self, key: tuple) -> bool:
+        return bool(self.find(key))
+
+    def range_scan(
+        self,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[int]:
+        """Rowids whose keys fall within ``[low, high]`` (None = unbounded)."""
+        entries = self._entries
+        lo = 0
+        hi = len(entries)
+        if low is not None:
+            wrapped = _NullsFirstKey(low)
+            lo = (
+                bisect_left(entries, (wrapped, -1))
+                if include_low
+                else bisect_right(entries, (wrapped, float("inf")))
+            )
+        if high is not None:
+            wrapped = _NullsFirstKey(high)
+            hi = (
+                bisect_right(entries, (wrapped, float("inf")))
+                if include_high
+                else bisect_left(entries, (wrapped, -1))
+            )
+        return [rowid for _, rowid in entries[lo:hi]]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Table:
+    """Schema + heap + indexes, with uniqueness enforcement.
+
+    All mutation goes through :meth:`insert` / :meth:`delete` /
+    :meth:`update` so that every index stays consistent with the heap.
+    """
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+        self.heap = Heap()
+        self.indexes: dict[str, HashIndex | SortedIndex] = {}
+        if schema.primary_key:
+            self.add_index(
+                HashIndex(f"PK_{schema.name}", schema.primary_key, unique=True)
+            )
+        for i, uniq in enumerate(schema.unique_sets):
+            name = f"UQ_{schema.name}_{i}"
+            if not self._covering_unique_index(uniq):
+                self.add_index(HashIndex(name, uniq, unique=True))
+        # Non-unique index on each FK column set speeds both joins and
+        # the reverse (parent-delete) referential checks.
+        for fk in schema.foreign_keys:
+            name = f"IX_{schema.name}_{fk.name}"
+            if name not in self.indexes:
+                self.add_index(HashIndex(name, fk.columns, unique=False))
+
+    def _covering_unique_index(self, columns: Sequence[str]) -> bool:
+        wanted = tuple(c.upper() for c in columns)
+        return any(
+            index.unique and index.columns == wanted
+            for index in self.indexes.values()
+        )
+
+    # -- index management ------------------------------------------------------
+
+    def add_index(self, index: HashIndex | SortedIndex) -> None:
+        if index.name in self.indexes:
+            raise CatalogError(f"index {index.name} already exists")
+        for column in index.columns:
+            self.schema.column(column)  # raises on unknown column
+        for rowid, row in self.heap.scan():
+            index.add(self.schema.key_of(row, index.columns), rowid)
+        self.indexes[index.name] = index
+
+    def drop_index(self, name: str) -> None:
+        try:
+            del self.indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index named {name}") from None
+
+    def index_on(self, columns: Sequence[str], require_unique: bool = False):
+        """Find an index whose key is exactly ``columns`` (any order not
+        supported — QBE and FK lookups always use schema order)."""
+        wanted = tuple(c.upper() for c in columns)
+        for index in self.indexes.values():
+            if index.columns == wanted and (index.unique or not require_unique):
+                return index
+        return None
+
+    def index_leading_on(self, column: str):
+        """An index whose first key column is ``column`` (single-column
+        equality lookups can use any such index)."""
+        column = column.upper()
+        for index in self.indexes.values():
+            if index.columns and index.columns[0] == column and len(index.columns) == 1:
+                return index
+        return None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any], rowid: int | None = None) -> tuple[int, tuple]:
+        validated = self.schema.validate_row(row)
+        self._check_unique(validated)
+        rowid = self.heap.insert(validated, rowid)
+        for index in self.indexes.values():
+            index.add(self.schema.key_of(validated, index.columns), rowid)
+        return rowid, validated
+
+    def delete(self, rowid: int) -> tuple:
+        row = self.heap.delete(rowid)
+        for index in self.indexes.values():
+            index.remove(self.schema.key_of(row, index.columns), rowid)
+        return row
+
+    def update(self, rowid: int, new_row: Sequence[Any]) -> tuple[tuple, tuple]:
+        """Replace the row at ``rowid``; returns ``(old_row, new_row)``."""
+        validated = self.schema.validate_row(new_row)
+        old = self.heap.get(rowid)
+        self._check_unique(validated, ignore_rowid=rowid)
+        self.heap.update(rowid, validated)
+        for index in self.indexes.values():
+            old_key = self.schema.key_of(old, index.columns)
+            new_key = self.schema.key_of(validated, index.columns)
+            if old_key != new_key:
+                index.remove(old_key, rowid)
+                index.add(new_key, rowid)
+        return old, validated
+
+    def _check_unique(self, row: tuple, ignore_rowid: int | None = None) -> None:
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            key = self.schema.key_of(row, index.columns)
+            hits = index.find(key)
+            if ignore_rowid is not None:
+                hits.discard(ignore_rowid)
+            if hits:
+                label = "primary key" if index.name.startswith("PK_") else "unique"
+                raise UniqueViolation(
+                    f"{label} violation on {self.schema.name}"
+                    f"({', '.join(index.columns)}) = {key!r}"
+                )
+
+    # -- schema evolution ---------------------------------------------------------
+
+    def add_column(self, column) -> None:
+        """ALTER TABLE ADD COLUMN: append the column and backfill every
+        stored row with its (validated) default."""
+        if self.schema.has_column(column.name):
+            raise CatalogError(
+                f"column {column.name} already exists in {self.schema.name}"
+            )
+        default = column.type.validate(column.default)
+        if default is None and not column.nullable and len(self.heap):
+            raise CatalogError(
+                f"cannot add NOT NULL column {column.name} without a "
+                f"DEFAULT to a populated table"
+            )
+        self.schema.columns.append(column)
+        self.schema._by_name[column.name] = len(self.schema.columns) - 1
+        for rowid, row in self.heap.scan():
+            self.heap.update(rowid, row + (default,))
+
+    def drop_column(self, name: str) -> list:
+        """ALTER TABLE DROP COLUMN: remove the column and its stored
+        values.  Returns the dropped values (the database layer unlinks
+        DATALINKs from them).  Key/indexed/checked columns are protected.
+        """
+        name = name.upper()
+        index_position = self.schema.column_index(name)
+        if name in self.schema.primary_key:
+            raise CatalogError(f"cannot drop primary key column {name}")
+        for uniq in self.schema.unique_sets:
+            if name in uniq:
+                raise CatalogError(f"cannot drop unique column {name}")
+        for fk in self.schema.foreign_keys:
+            if name in fk.columns:
+                raise CatalogError(f"cannot drop foreign key column {name}")
+        for index in self.indexes.values():
+            if name in index.columns:
+                raise CatalogError(
+                    f"cannot drop column {name}: used by index {index.name}"
+                )
+        for check in self.schema.checks:
+            if any(ref.column == name for ref in check.column_refs()):
+                raise CatalogError(
+                    f"cannot drop column {name}: used by a CHECK constraint"
+                )
+        dropped = []
+        for rowid, row in self.heap.scan():
+            dropped.append(row[index_position])
+            self.heap.update(
+                rowid, row[:index_position] + row[index_position + 1:]
+            )
+        del self.schema.columns[index_position]
+        self.schema._by_name = {
+            c.name: i for i, c in enumerate(self.schema.columns)
+        }
+        return dropped
+
+    # -- access -------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        return self.heap.scan()
+
+    def row(self, rowid: int) -> tuple:
+        return self.heap.get(rowid)
+
+    def __len__(self) -> int:
+        return len(self.heap)

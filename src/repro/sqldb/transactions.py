@@ -1,0 +1,179 @@
+"""Transaction management.
+
+The engine runs a single-writer model (matching the paper's servlet
+deployment, where the database host serialises updates).  Each transaction
+keeps:
+
+* an **undo log** — inverse operations applied in LIFO order on rollback,
+* a **redo log** — logical records appended to the write-ahead log on
+  commit,
+* **datalink actions** — pending file link/unlink operations that must be
+  applied or discarded *atomically with* the database changes.  This is
+  SQL/MED's "transaction consistency": "changes affecting both the database
+  and external files are executed within a transaction".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransactionError
+
+__all__ = ["Transaction", "TransactionManager"]
+
+
+class Transaction:
+    """State for one open transaction."""
+
+    _next_id = 1
+
+    def __init__(self, explicit: bool) -> None:
+        self.txn_id = Transaction._next_id
+        Transaction._next_id += 1
+        #: True for user BEGIN...COMMIT; False for per-statement autocommit
+        self.explicit = explicit
+        self.undo: list[tuple] = []
+        self.redo: list[dict] = []
+        #: callables executed after a successful commit (e.g. finalise links)
+        self.on_commit: list[Callable[[], None]] = []
+        #: callables executed on rollback (e.g. discard pending links)
+        self.on_rollback: list[Callable[[], None]] = []
+
+    def record(self, undo_entry: tuple, redo_entry: dict | None) -> None:
+        self.undo.append(undo_entry)
+        if redo_entry is not None:
+            self.redo.append(redo_entry)
+
+
+class TransactionManager:
+    """Owns the open transaction and applies commit/rollback protocols."""
+
+    def __init__(self, catalog, wal=None) -> None:
+        self._catalog = catalog
+        self._wal = wal
+        self._current: Transaction | None = None
+
+    @property
+    def active(self) -> Transaction | None:
+        return self._current
+
+    @property
+    def in_explicit_transaction(self) -> bool:
+        return self._current is not None and self._current.explicit
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self, explicit: bool = True) -> Transaction:
+        if self._current is not None:
+            raise TransactionError("a transaction is already open")
+        self._current = Transaction(explicit)
+        return self._current
+
+    def ensure(self) -> tuple[Transaction, bool]:
+        """Return the open transaction, starting an autocommit one if none.
+
+        The second element tells the caller whether it owns the commit
+        (True for a freshly started autocommit transaction).
+        """
+        if self._current is not None:
+            return self._current, False
+        return self.begin(explicit=False), True
+
+    def commit(self) -> None:
+        txn = self._current
+        if txn is None:
+            raise TransactionError("no transaction to commit")
+        # Durability first: flush redo records before acknowledging.
+        if self._wal is not None and txn.redo:
+            self._wal.append_transaction(txn.txn_id, txn.redo)
+        self._current = None
+        failures = []
+        for hook in txn.on_commit:
+            try:
+                hook()
+            except Exception as exc:  # pragma: no cover - defensive
+                failures.append(exc)
+        if failures:
+            raise TransactionError(
+                f"commit hooks failed: {failures[0]}"
+            ) from failures[0]
+
+    def rollback(self) -> None:
+        txn = self._current
+        if txn is None:
+            raise TransactionError("no transaction to roll back")
+        self._current = None
+        self._apply_undo(txn)
+        for hook in reversed(txn.on_rollback):
+            hook()
+
+    # -- statement-level atomicity ---------------------------------------------
+
+    def statement_mark(self, txn: Transaction) -> tuple[int, int]:
+        """Snapshot the txn's log positions before executing a statement."""
+        return len(txn.undo), len(txn.redo)
+
+    def statement_rollback(self, txn: Transaction, mark: tuple[int, int]) -> None:
+        """Undo everything a failed statement did, leaving earlier work in
+        the transaction intact (statement-level atomicity)."""
+        undo_mark, redo_mark = mark
+        tail = txn.undo[undo_mark:]
+        del txn.undo[undo_mark:]
+        del txn.redo[redo_mark:]
+        self._undo_entries(tail)
+
+    def _apply_undo(self, txn: Transaction) -> None:
+        self._undo_entries(txn.undo)
+
+    def _undo_entries(self, entries: list[tuple]) -> None:
+        for entry in reversed(entries):
+            kind = entry[0]
+            if kind == "insert":
+                _, table_name, rowid = entry
+                self._catalog.table(table_name).delete(rowid)
+            elif kind == "delete":
+                _, table_name, rowid, row = entry
+                self._catalog.table(table_name).insert(row, rowid)
+            elif kind == "update":
+                _, table_name, rowid, old_row = entry
+                self._catalog.table(table_name).update(rowid, old_row)
+            elif kind == "create_table":
+                _, table_name = entry
+                self._catalog.drop_table(table_name)
+            elif kind == "create_index":
+                _, index_name = entry
+                self._catalog.drop_index(index_name)
+            elif kind == "create_view":
+                _, view_name = entry
+                self._catalog.drop_view(view_name)
+            elif kind == "drop_view":
+                _, view_name, select, ddl_text = entry
+                self._catalog.create_view(view_name, select, ddl_text)
+            else:  # pragma: no cover - defensive
+                raise TransactionError(f"unknown undo entry {kind!r}")
+
+    # -- change recording --------------------------------------------------------
+
+    def record_insert(self, txn: Transaction, table_name: str, rowid: int, row: tuple) -> None:
+        txn.record(
+            ("insert", table_name, rowid),
+            {"op": "insert", "table": table_name, "rowid": rowid, "row": row},
+        )
+
+    def record_delete(self, txn: Transaction, table_name: str, rowid: int, row: tuple) -> None:
+        txn.record(
+            ("delete", table_name, rowid, row),
+            {"op": "delete", "table": table_name, "rowid": rowid},
+        )
+
+    def record_update(
+        self, txn: Transaction, table_name: str, rowid: int,
+        old_row: tuple, new_row: tuple,
+    ) -> None:
+        txn.record(
+            ("update", table_name, rowid, old_row),
+            {"op": "update", "table": table_name, "rowid": rowid, "row": new_row},
+        )
+
+    def record_ddl(self, txn: Transaction, undo_entry: tuple, sql: str) -> None:
+        txn.record(undo_entry, {"op": "ddl", "sql": sql})

@@ -1,0 +1,125 @@
+"""Write-ahead log and checkpointing.
+
+Durable databases append one JSON line per committed transaction to
+``<dir>/wal.jsonl``.  A checkpoint serialises the whole database into
+``<dir>/checkpoint.json`` and truncates the log.  Recovery loads the most
+recent checkpoint (if any) and replays the log's committed transactions —
+an uncommitted (never appended) transaction is simply absent, giving
+atomicity across crashes.
+
+Values travel through :func:`repro.sqldb.types.value_to_json`, so BLOBs,
+CLOBs, DATALINKs and temporal values round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.errors import RecoveryError
+from repro.sqldb.types import value_from_json, value_to_json
+
+__all__ = ["WriteAheadLog", "CHECKPOINT_NAME", "WAL_NAME"]
+
+WAL_NAME = "wal.jsonl"
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+def _encode_row(row: tuple) -> list:
+    return [value_to_json(v) for v in row]
+
+
+def _decode_row(row: list) -> tuple:
+    return tuple(value_from_json(v) for v in row)
+
+
+class WriteAheadLog:
+    """Append-only logical log of committed transactions."""
+
+    def __init__(self, directory: str, sync: bool = False) -> None:
+        self.directory = directory
+        self.sync = sync
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, WAL_NAME)
+        self.checkpoint_path = os.path.join(directory, CHECKPOINT_NAME)
+
+    # -- appending ---------------------------------------------------------------
+
+    def append_transaction(self, txn_id: int, records: list[dict]) -> None:
+        """Append one committed transaction as a single JSON line."""
+        encoded = []
+        for record in records:
+            entry = dict(record)
+            if "row" in entry:
+                entry["row"] = _encode_row(entry["row"])
+            encoded.append(entry)
+        line = json.dumps({"txn": txn_id, "ops": encoded}, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            if self.sync:
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # -- replay --------------------------------------------------------------------
+
+    def iter_transactions(self) -> Iterator[tuple[int, list[dict]]]:
+        """Yield ``(txn_id, ops)`` for every committed transaction.
+
+        A torn final line (crash mid-append) is skipped: the transaction
+        never committed.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # Only the *final* line may be torn; anything earlier is
+                    # corruption we must not silently skip.
+                    remainder = fh.read().strip()
+                    if remainder:
+                        raise RecoveryError(
+                            f"corrupt WAL record at line {line_no}"
+                        ) from None
+                    return
+                ops = []
+                for entry in payload["ops"]:
+                    decoded = dict(entry)
+                    if "row" in decoded:
+                        decoded["row"] = _decode_row(decoded["row"])
+                    ops.append(decoded)
+                yield payload["txn"], ops
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def write_checkpoint(self, snapshot: dict[str, Any]) -> None:
+        """Atomically persist ``snapshot`` and truncate the log."""
+        tmp_path = self.checkpoint_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh)
+        os.replace(tmp_path, self.checkpoint_path)
+        # The checkpoint captures everything in the log; start fresh.
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def read_checkpoint(self) -> dict[str, Any] | None:
+        if not os.path.exists(self.checkpoint_path):
+            return None
+        try:
+            with open(self.checkpoint_path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            raise RecoveryError(f"corrupt checkpoint: {exc}") from exc
+
+    @staticmethod
+    def encode_table_rows(rows: Iterator[tuple[int, tuple]]) -> list:
+        return [[rowid, _encode_row(row)] for rowid, row in rows]
+
+    @staticmethod
+    def decode_table_rows(entries: list) -> list[tuple[int, tuple]]:
+        return [(rowid, _decode_row(row)) for rowid, row in entries]

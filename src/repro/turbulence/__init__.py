@@ -1,0 +1,44 @@
+"""The UK Turbulence Consortium workload.
+
+Synthetic stand-in for the paper's motivating application: numerical
+turbulence simulations whose per-timestep snapshots (hundreds of
+gigabytes in the original) are archived across distributed file servers
+and post-processed server-side.
+
+* :mod:`repro.turbulence.generator` — the TURB dataset container,
+* :mod:`repro.turbulence.schema` — the paper's five-table schema,
+* :mod:`repro.turbulence.codes` — GetImage / FieldStats / Subsample,
+* :func:`build_turbulence_archive` — one call to a fully wired archive.
+"""
+
+from repro.turbulence.archive import (
+    SDB_URL,
+    TurbulenceArchive,
+    build_turbulence_archive,
+)
+from repro.turbulence.codes import CODES, code_archive
+from repro.turbulence.generator import (
+    TURB_MAGIC,
+    decode_snapshot,
+    encode_snapshot,
+    generate_snapshot,
+    make_timestep_file,
+    snapshot_nbytes,
+)
+from repro.turbulence.schema import TABLES, create_turbulence_schema
+
+__all__ = [
+    "build_turbulence_archive",
+    "TurbulenceArchive",
+    "SDB_URL",
+    "CODES",
+    "code_archive",
+    "TURB_MAGIC",
+    "generate_snapshot",
+    "encode_snapshot",
+    "decode_snapshot",
+    "snapshot_nbytes",
+    "make_timestep_file",
+    "create_turbulence_schema",
+    "TABLES",
+]

@@ -1,0 +1,275 @@
+"""Post-processing codes for turbulence datasets.
+
+These are the "standard reusable server-side post-processing codes" the
+XUIS couples to datasets.  Each is a self-contained Python source (the
+stand-in for the paper's Java classes / FORTRAN codes) obeying the
+operation contract: read the dataset named by ``INPUT_FILENAME``, take
+user parameters from ``PARAMS``, write output to relative filenames.
+They parse the TURB container with the stdlib only, so they run under the
+strict sandbox too.
+
+* **GetImage** — extract one x-slice of one field and render it as a
+  binary PGM image (the paper's visualisation figure: "Select the slice
+  you wish to visualise", "Select velocity component or pressure").
+* **FieldStats** — min/max/mean/rms per field, as a small JSON document
+  (data reduction to a few hundred bytes).
+* **Subsample** — every k-th grid point in each dimension, re-encoded as
+  a TURB file (user-directed array subsetting).
+
+:func:`code_archive` packages a code as a zip/jar the way the archive
+stores them (CODE_FILE rows pointing at DATALINKed archives).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.operations.batch import pack_code_archive
+
+__all__ = [
+    "GET_IMAGE_SOURCE",
+    "FIELD_STATS_SOURCE",
+    "SUBSAMPLE_SOURCE",
+    "code_archive",
+    "CODES",
+]
+
+_READER_SNIPPET = '''
+import struct
+import array
+
+def _read_snapshot(filename):
+    fh = open(filename, "rb")
+    data = fh.read()
+    fh.close()
+    if data[:4] != b"TURB":
+        raise ValueError("not a TURB snapshot")
+    nx, ny, nz = struct.unpack("<iii", data[4:16])
+    count = nx * ny * nz
+    fields = {}
+    offset = 16
+    for name in ("u", "v", "w", "p"):
+        values = array.array("f")
+        values.frombytes(data[offset:offset + 4 * count])
+        fields[name] = values
+        offset += 4 * count
+    return nx, ny, nz, fields
+'''
+
+GET_IMAGE_SOURCE = _READER_SNIPPET + '''
+nx, ny, nz, fields = _read_snapshot(INPUT_FILENAME)
+
+slice_name = str(PARAMS.get("slice", "x0"))
+if not slice_name.startswith("x"):
+    raise ValueError("slice parameter must look like x<index>")
+ix = int(slice_name[1:])
+if ix < 0 or ix >= nx:
+    raise ValueError("slice index out of range")
+
+component = str(PARAMS.get("type", "u"))
+if component not in ("u", "v", "w", "p"):
+    raise ValueError("type must be one of u, v, w, p")
+field = fields[component]
+
+# Gather the (ny x nz) plane at x = ix; TURB arrays are C-ordered.
+plane = []
+lo = None
+hi = None
+for j in range(ny):
+    row = []
+    for k in range(nz):
+        value = field[(ix * ny + j) * nz + k]
+        row.append(value)
+        if lo is None or value < lo:
+            lo = value
+        if hi is None or value > hi:
+            hi = value
+    plane.append(row)
+
+span = (hi - lo) if hi > lo else 1.0
+out = open("slice.pgm", "wb")
+header = "P5\\n" + str(nz) + " " + str(ny) + "\\n255\\n"
+out.write(header.encode("ascii"))
+for row in plane:
+    scaled = bytes(int(255 * (value - lo) / span) for value in row)
+    out.write(scaled)
+out.close()
+print("wrote slice.pgm for", component, "at", slice_name)
+'''
+
+FIELD_STATS_SOURCE = _READER_SNIPPET + '''
+import json
+import math
+
+nx, ny, nz, fields = _read_snapshot(INPUT_FILENAME)
+report = {"grid": [nx, ny, nz], "fields": {}}
+for name in ("u", "v", "w", "p"):
+    values = fields[name]
+    n = len(values)
+    total = 0.0
+    square_total = 0.0
+    lo = values[0]
+    hi = values[0]
+    for value in values:
+        total += value
+        square_total += value * value
+        if value < lo:
+            lo = value
+        if value > hi:
+            hi = value
+    mean = total / n
+    report["fields"][name] = {
+        "min": lo,
+        "max": hi,
+        "mean": mean,
+        "rms": math.sqrt(square_total / n),
+    }
+out = open("stats.json", "w")
+out.write(json.dumps(report, indent=2))
+out.close()
+print("wrote stats.json")
+'''
+
+SUBSAMPLE_SOURCE = _READER_SNIPPET + '''
+import struct
+import array
+
+factor = int(PARAMS.get("factor", 2))
+if factor < 1:
+    raise ValueError("factor must be >= 1")
+
+nx, ny, nz, fields = _read_snapshot(INPUT_FILENAME)
+mx = len(range(0, nx, factor))
+my = len(range(0, ny, factor))
+mz = len(range(0, nz, factor))
+
+out = open("subsampled.turb", "wb")
+out.write(b"TURB")
+out.write(struct.pack("<iii", mx, my, mz))
+for name in ("u", "v", "w", "p"):
+    field = fields[name]
+    reduced = array.array("f")
+    for i in range(0, nx, factor):
+        for j in range(0, ny, factor):
+            base = (i * ny + j) * nz
+            for k in range(0, nz, factor):
+                reduced.append(field[base + k])
+    out.write(reduced.tobytes())
+out.close()
+print("wrote subsampled.turb", mx, my, mz)
+'''
+
+VORTICITY_SOURCE = _READER_SNIPPET + '''
+# Vorticity magnitude on one x-slice, central differences with periodic
+# wrap, rendered as a PGM image like GetImage.
+slice_name = str(PARAMS.get("slice", "x0"))
+ix = int(slice_name[1:])
+
+nx, ny, nz, fields = _read_snapshot(INPUT_FILENAME)
+if ix < 0 or ix >= nx:
+    raise ValueError("slice index out of range")
+u, v, w = fields["u"], fields["v"], fields["w"]
+
+def at(field, i, j, k):
+    return field[((i % nx) * ny + (j % ny)) * nz + (k % nz)]
+
+plane = []
+lo = None
+hi = None
+for j in range(ny):
+    row = []
+    for k in range(nz):
+        dw_dy = (at(w, ix, j + 1, k) - at(w, ix, j - 1, k)) / 2.0
+        dv_dz = (at(v, ix, j, k + 1) - at(v, ix, j, k - 1)) / 2.0
+        du_dz = (at(u, ix, j, k + 1) - at(u, ix, j, k - 1)) / 2.0
+        dw_dx = (at(w, ix + 1, j, k) - at(w, ix - 1, j, k)) / 2.0
+        dv_dx = (at(v, ix + 1, j, k) - at(v, ix - 1, j, k)) / 2.0
+        du_dy = (at(u, ix, j + 1, k) - at(u, ix, j - 1, k)) / 2.0
+        wx = dw_dy - dv_dz
+        wy = du_dz - dw_dx
+        wz = dv_dx - du_dy
+        magnitude = (wx * wx + wy * wy + wz * wz) ** 0.5
+        row.append(magnitude)
+        if lo is None or magnitude < lo:
+            lo = magnitude
+        if hi is None or magnitude > hi:
+            hi = magnitude
+    plane.append(row)
+
+span = (hi - lo) if hi > lo else 1.0
+out = open("vorticity.pgm", "wb")
+header = "P5\\n" + str(nz) + " " + str(ny) + "\\n255\\n"
+out.write(header.encode("ascii"))
+for row in plane:
+    out.write(bytes(int(255 * (value - lo) / span) for value in row))
+out.close()
+print("wrote vorticity.pgm at", slice_name)
+'''
+
+ENERGY_SPECTRUM_SOURCE = '''
+# Radially binned kinetic-energy spectrum E(k) via FFT (numpy permitted).
+import json
+import struct
+import numpy as np
+
+fh = open(INPUT_FILENAME, "rb")
+data = fh.read()
+fh.close()
+if data[:4] != b"TURB":
+    raise ValueError("not a TURB snapshot")
+nx, ny, nz = struct.unpack("<iii", data[4:16])
+count = nx * ny * nz
+
+fields = {}
+offset = 16
+for name in ("u", "v", "w"):
+    flat = np.frombuffer(data, dtype="<f4", count=count, offset=offset)
+    fields[name] = flat.reshape((nx, ny, nz)).astype(np.float64)
+    offset += 4 * count
+
+energy = np.zeros((nx, ny, nz))
+for name in ("u", "v", "w"):
+    spectral = np.fft.fftn(fields[name]) / count
+    energy += 0.5 * np.abs(spectral) ** 2
+
+kx = np.fft.fftfreq(nx) * nx
+ky = np.fft.fftfreq(ny) * ny
+kz = np.fft.fftfreq(nz) * nz
+kgrid = np.sqrt(
+    kx[:, None, None] ** 2 + ky[None, :, None] ** 2 + kz[None, None, :] ** 2
+)
+kmax = int(kgrid.max()) + 1
+shells = np.zeros(kmax)
+for shell in range(kmax):
+    mask = (kgrid >= shell - 0.5) & (kgrid < shell + 0.5)
+    shells[shell] = float(energy[mask].sum())
+
+out = open("spectrum.json", "w")
+out.write(json.dumps({
+    "k": list(range(kmax)),
+    "E": [float(e) for e in shells],
+    "total_energy": float(energy.sum()),
+}))
+out.close()
+print("wrote spectrum.json with", kmax, "shells")
+'''
+
+#: registry: operation code name -> source
+CODES = {
+    "GetImage": GET_IMAGE_SOURCE,
+    "FieldStats": FIELD_STATS_SOURCE,
+    "Subsample": SUBSAMPLE_SOURCE,
+    "Vorticity": VORTICITY_SOURCE,
+    "EnergySpectrum": ENERGY_SPECTRUM_SOURCE,
+}
+
+
+def code_archive(name: str, format: str = "jar") -> bytes:
+    """Package a named code the way the archive stores operations
+    (``GetImage`` -> jar containing ``GetImage.py``)."""
+    try:
+        source = CODES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown code {name!r}; available: {sorted(CODES)}"
+        ) from None
+    return pack_code_archive({f"{name}.py": source.encode("utf-8")}, format)

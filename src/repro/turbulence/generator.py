@@ -1,0 +1,125 @@
+"""Synthetic turbulence simulation datasets.
+
+The UK Turbulence Consortium's real result files (hundreds of gigabytes
+per simulation) are obviously not available; this module generates
+scaled-down stand-ins with the same *shape*: per-timestep snapshots of
+three velocity components and pressure on a regular grid.
+
+The container format (``TURB``) is deliberately simple so that sandboxed
+post-processing codes can parse it with the stdlib only::
+
+    bytes 0-3    magic b"TURB"
+    bytes 4-15   nx, ny, nz as little-endian int32
+    then         u, v, w, p — four float32 arrays, C order, nx*ny*nz each
+
+Fields are built from a handful of sinusoidal modes plus seeded noise —
+enough spatial structure that slices, statistics and subsampling all
+produce meaningfully different outputs, while staying exactly
+reproducible for tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TURB_MAGIC",
+    "generate_snapshot",
+    "encode_snapshot",
+    "decode_snapshot",
+    "snapshot_nbytes",
+    "make_timestep_file",
+]
+
+TURB_MAGIC = b"TURB"
+_HEADER = struct.Struct("<4siii")
+
+
+def snapshot_nbytes(nx: int, ny: int | None = None, nz: int | None = None) -> int:
+    """On-disk size of a snapshot (defaults to a cubic grid)."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return _HEADER.size + 4 * 4 * nx * ny * nz
+
+
+def generate_snapshot(
+    nx: int,
+    ny: int | None = None,
+    nz: int | None = None,
+    seed: int = 0,
+    timestep: int = 0,
+) -> dict[str, np.ndarray]:
+    """Build one snapshot: dict of float32 arrays ``u``, ``v``, ``w``, ``p``.
+
+    The same (grid, seed, timestep) always yields identical data.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ReproError("grid dimensions must be positive")
+    rng = np.random.default_rng(seed * 100_003 + timestep)
+    x = np.linspace(0.0, 2 * np.pi, nx, endpoint=False)
+    y = np.linspace(0.0, 2 * np.pi, ny, endpoint=False)
+    z = np.linspace(0.0, 2 * np.pi, nz, endpoint=False)
+    xg, yg, zg = np.meshgrid(x, y, z, indexing="ij")
+
+    phase = 0.15 * timestep
+    fields: dict[str, np.ndarray] = {}
+    # A Taylor-Green-style base flow with drifting phase plus noise gives
+    # divergence-suppressed, visually structured velocity fields.
+    fields["u"] = np.cos(xg + phase) * np.sin(yg) * np.sin(zg)
+    fields["v"] = np.sin(xg + phase) * np.cos(yg) * np.sin(zg)
+    fields["w"] = -2.0 * np.sin(xg + phase) * np.sin(yg) * np.cos(zg)
+    fields["p"] = 0.25 * (np.cos(2 * (xg + phase)) + np.cos(2 * yg)) * np.cos(2 * zg)
+    for name in fields:
+        noise = rng.standard_normal(fields[name].shape)
+        fields[name] = (fields[name] + 0.05 * noise).astype(np.float32)
+    return fields
+
+
+def encode_snapshot(fields: dict[str, np.ndarray]) -> bytes:
+    """Serialise a snapshot into the TURB container."""
+    try:
+        u, v, w, p = fields["u"], fields["v"], fields["w"], fields["p"]
+    except KeyError as exc:
+        raise ReproError(f"snapshot is missing field {exc}") from exc
+    if not (u.shape == v.shape == w.shape == p.shape):
+        raise ReproError("snapshot fields have mismatched shapes")
+    if u.ndim != 3:
+        raise ReproError("snapshot fields must be 3-dimensional")
+    nx, ny, nz = u.shape
+    parts = [_HEADER.pack(TURB_MAGIC, nx, ny, nz)]
+    for field in (u, v, w, p):
+        parts.append(np.ascontiguousarray(field, dtype=np.float32).tobytes())
+    return b"".join(parts)
+
+
+def decode_snapshot(data: bytes) -> dict[str, np.ndarray]:
+    """Parse a TURB container back into its four fields."""
+    if len(data) < _HEADER.size or data[:4] != TURB_MAGIC:
+        raise ReproError("not a TURB snapshot")
+    _magic, nx, ny, nz = _HEADER.unpack_from(data)
+    count = nx * ny * nz
+    expected = _HEADER.size + 4 * 4 * count
+    if len(data) != expected:
+        raise ReproError(
+            f"truncated TURB snapshot: expected {expected} bytes, got {len(data)}"
+        )
+    fields = {}
+    offset = _HEADER.size
+    for name in ("u", "v", "w", "p"):
+        flat = np.frombuffer(data, dtype="<f4", count=count, offset=offset)
+        fields[name] = flat.reshape((nx, ny, nz)).copy()
+        offset += 4 * count
+    return fields
+
+
+def make_timestep_file(
+    grid: int, seed: int, timestep: int
+) -> bytes:
+    """Convenience: generate + encode one timestep snapshot."""
+    return encode_snapshot(generate_snapshot(grid, seed=seed, timestep=timestep))

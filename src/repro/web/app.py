@@ -1,0 +1,593 @@
+"""The EASIA web application.
+
+Wires the whole architecture behind servlet endpoints, mirroring the
+paper's deployment (one servlet container on the database-server host):
+
+==========================  ====================================================
+path                        behaviour
+==========================  ====================================================
+``/login`` / ``/logout``    session management (guest/guest works, as the demo)
+``/``                       home: the visible tables, with query-form links
+``/query``                  the generated QBE query form for one table
+``/search``                 QBE submission -> hyperlinked result table
+``/table``                  "alternatively request all data for a table"
+``/browse/fk``              foreign-key browsing (full referenced row)
+``/browse/pk``              primary-key browsing (referencing rows)
+``/lob``                    BLOB/CLOB rematerialisation with MIME type
+``/download``               DATALINK download via its file server (no guests)
+``/operation/form``         parameter form generated from the XUIS
+``/operation/run``          sandboxed server-side execution, results shipped
+``/upload/form``/``run``    code upload for secure server-side execution
+``/stats``                  operation statistics ("for benefit of future users")
+``/admin/users``            web-based user management (admin only)
+==========================  ====================================================
+
+All state flows through the explicit ``session_id`` returned by
+``/login`` (the JWS URL-rewriting model).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datalink import DataLinker
+from repro.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    WebError,
+)
+from repro.operations import CodeUploader, OperationEngine
+from repro.sqldb.database import Database
+from repro.sqldb.types import Blob, Clob, DatalinkValue
+from repro.web.auth import UserManager
+from repro.web.forms import (
+    page,
+    render_login_form,
+    render_operation_form,
+    render_query_form,
+)
+from repro.web.http import Request, Response, ServletContainer, escape
+from repro.web.qbe import build_query_from_params
+from repro.web.render import render_result_table
+from repro.xuis.model import XuisDocument, parse_colid
+
+__all__ = ["EasiaApp"]
+
+def _int_param(request: Request, name: str, default: int) -> int:
+    value = request.param(name, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise WebError(f"parameter {name!r} must be an integer") from None
+
+
+def _export_cell_text(value) -> str:
+    from repro.sqldb.types import Blob
+
+    if value is None:
+        return ""
+    if isinstance(value, Blob):
+        return f"<{len(value)} bytes>"
+    if isinstance(value, Clob):
+        return value.text
+    if isinstance(value, DatalinkValue):
+        return value.url
+    return str(value)
+
+
+def _rows_as_csv(columns: list[str], rows: list[tuple]) -> bytes:
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_export_cell_text(v) for v in row])
+    return buffer.getvalue().encode("utf-8")
+
+
+def _rows_as_xml(table_name: str, columns: list[str], rows: list[tuple]) -> bytes:
+    import xml.etree.ElementTree as ET
+
+    root = ET.Element("resultset", {"table": table_name})
+    for row in rows:
+        row_el = ET.SubElement(root, "row")
+        for name, value in zip(columns, row):
+            cell = ET.SubElement(row_el, "field", {"name": name})
+            cell.text = _export_cell_text(value)
+    return ET.tostring(root, encoding="utf-8", xml_declaration=True)
+
+
+_OUTPUT_MIME = {
+    ".pgm": "image/x-portable-graymap",
+    ".png": "image/png",
+    ".html": "text/html",
+    ".json": "application/json",
+    ".txt": "text/plain",
+    ".turb": "application/octet-stream",
+}
+
+
+class EasiaApp:
+    """The assembled archive application."""
+
+    def __init__(
+        self,
+        db: Database,
+        linker: DataLinker,
+        document: XuisDocument,
+        users: UserManager,
+        engine: OperationEngine,
+        documents_by_role: dict[str, XuisDocument] | None = None,
+        session_max_idle: float | None = None,
+        time_source=None,
+    ) -> None:
+        self.db = db
+        self.linker = linker
+        self.document = document
+        self.users = users
+        self.engine = engine
+        self.uploader = CodeUploader(engine)
+        #: personalisation: different user classes may see different XUIS
+        self.documents_by_role = documents_by_role or {}
+        # One source of truth: the engine evaluates operation conditions
+        # against the same document the interface renders.
+        self.engine.document = document
+        self.container = ServletContainer(session_max_idle, time_source)
+        self._register_routes()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        container = self.container
+        container.register("/login", self._login)
+        container.register("/logout", self._logout)
+        container.register("/", self._home)
+        container.register("/query", self._query_form)
+        container.register("/search", self._search)
+        container.register("/table", self._whole_table)
+        container.register("/browse/fk", self._browse_fk)
+        container.register("/browse/pk", self._browse_pk)
+        container.register("/lob", self._lob)
+        container.register("/download", self._download)
+        container.register("/operation/form", self._operation_form)
+        container.register("/operation/run", self._operation_run)
+        container.register("/upload/form", self._upload_form)
+        container.register("/upload/run", self._upload_run)
+        container.register("/export", self._export)
+        container.register("/operation/progress", self._operation_progress)
+        container.register("/stats", self._stats)
+        container.register("/admin/users", self._admin_users)
+        container.register("/admin/xuis", self._admin_xuis)
+
+    def get(self, path: str, params: dict[str, Any] | None = None,
+            session_id: str | None = None) -> Response:
+        return self.container.dispatch(path, params, "GET", session_id)
+
+    def post(self, path: str, params: dict[str, Any] | None = None,
+             session_id: str | None = None,
+             files: dict[str, bytes] | None = None) -> Response:
+        return self.container.dispatch(path, params, "POST", session_id, files)
+
+    def login(self, username: str, password: str) -> str:
+        """Convenience: authenticate and return the new session id."""
+        response = self.post(
+            "/login", {"username": username, "password": password}
+        )
+        if not response.ok:
+            raise AuthenticationError(response.text)
+        return response.headers["X-Session-Id"]
+
+    def document_for(self, user) -> XuisDocument:
+        """Personalisation hook: role-specific XUIS if configured."""
+        if user is not None and user.role in self.documents_by_role:
+            return self.documents_by_role[user.role]
+        return self.document
+
+    # -- auth ----------------------------------------------------------------------
+
+    def _login(self, request: Request) -> Response:
+        if request.method != "POST":
+            return Response.html(render_login_form())
+        username = request.require_param("username")
+        password = request.require_param("password")
+        user = self.users.authenticate(username, password)
+        session = self.container.sessions.create()
+        session["user"] = user
+        body = page(
+            "EASIA",
+            f"<p>Welcome, {escape(user.username)} (role: {escape(user.role)}).</p>"
+            '<p><a href="/">Browse the archive</a></p>',
+        )
+        return Response(body, headers={"X-Session-Id": session.session_id})
+
+    def _logout(self, request: Request) -> Response:
+        if request.session is not None:
+            self.container.sessions.invalidate(request.session.session_id)
+        return Response.html(render_login_form("Logged out."))
+
+    # -- searching and browsing -------------------------------------------------------
+
+    def _home(self, request: Request) -> Response:
+        user = request.require_user()
+        document = self.document_for(user)
+        items = "".join(
+            f'<li><a href="/query?table={escape(t.name)}">'
+            f"{escape(t.display_name)}</a> "
+            f'(<a href="/table?name={escape(t.name)}">all data</a>)</li>'
+            for t in document.visible_tables()
+        )
+        return Response.html(page(document.title, f"<ul>{items}</ul>"))
+
+    def _query_form(self, request: Request) -> Response:
+        user = request.require_user()
+        document = self.document_for(user)
+        table = document.table(request.require_param("table"))
+        if table.hidden:
+            raise WebError(f"table {table.name} is not available")
+        return Response.html(render_query_form(table))
+
+    def _search(self, request: Request) -> Response:
+        user = request.require_user()
+        document = self.document_for(user)
+        table_name = request.require_param("table")
+        table = document.table(table_name)
+        query = build_query_from_params(table_name, request.params)
+        if not self.db.catalog.is_view(table.name):
+            query.bind_types(self.db.catalog.schema(table.name))
+
+        page_number = max(1, _int_param(request, "page", 1))
+        page_size = max(1, _int_param(request, "page_size", 50))
+        if query.limit is None:
+            query.limit = page_size
+            query.offset = (page_number - 1) * page_size
+        count_sql, count_params = query.count_sql()
+        total = self.db.execute(count_sql, count_params).scalar() or 0
+
+        sql, params = query.to_sql(table)
+        result = self.db.execute(sql, params)
+        footer = self._pagination_footer(
+            request, page_number, page_size, total
+        )
+        return Response.html(
+            render_result_table(
+                self.db, document, table.name, result, user, footer_html=footer
+            )
+        )
+
+    def _export(self, request: Request) -> Response:
+        """Download query results as CSV or XML (same QBE parameters as
+        ``/search``, plus ``format=csv|xml``)."""
+        user = request.require_user()
+        document = self.document_for(user)
+        table_name = request.require_param("table")
+        table = document.table(table_name)
+        query = build_query_from_params(table_name, request.params)
+        if not self.db.catalog.is_view(table.name):
+            query.bind_types(self.db.catalog.schema(table.name))
+        sql, params = query.to_sql(table)
+        result = self.db.execute(sql, params)
+
+        export_format = request.param("format", "csv").lower()
+        if export_format == "csv":
+            return Response.data(
+                _rows_as_csv(result.columns, result.rows), "text/csv"
+            )
+        if export_format == "xml":
+            return Response.data(
+                _rows_as_xml(table.name, result.columns, result.rows),
+                "application/xml",
+            )
+        raise WebError(f"unknown export format {export_format!r}")
+
+    @staticmethod
+    def _pagination_footer(request: Request, page_number: int,
+                           page_size: int, total: int) -> str:
+        """Prev/next navigation preserving the submitted form parameters."""
+        from urllib.parse import urlencode
+
+        pages = max(1, -(-total // page_size))
+        if pages <= 1:
+            return ""
+        base = {
+            k: v for k, v in request.params.items() if k not in ("page",)
+        }
+        parts = [f"<p>page {page_number} of {pages} ({total} rows)"]
+        if page_number > 1:
+            href = "/search?" + urlencode({**base, "page": page_number - 1})
+            parts.append(f' <a class="prev" href="{escape(href)}">prev</a>')
+        if page_number < pages:
+            href = "/search?" + urlencode({**base, "page": page_number + 1})
+            parts.append(f' <a class="next" href="{escape(href)}">next</a>')
+        parts.append("</p>")
+        return "".join(parts)
+
+    def _whole_table(self, request: Request) -> Response:
+        user = request.require_user()
+        document = self.document_for(user)
+        table = document.table(request.require_param("name"))
+        visible = ", ".join(c.colid for c in table.visible_columns())
+        result = self.db.execute(f"SELECT {visible} FROM {table.name}")
+        return Response.html(
+            render_result_table(self.db, document, table.name, result, user)
+        )
+
+    def _browse_fk(self, request: Request) -> Response:
+        """Foreign-key browsing: full details of the referenced row."""
+        user = request.require_user()
+        document = self.document_for(user)
+        colid = request.require_param("colid")
+        value = request.require_param("value")
+        column = document.column(colid)
+        if column.fk is None:
+            raise WebError(f"{colid} is not a foreign key")
+        ref_table, ref_column = parse_colid(column.fk.tablecolumn)
+        result = self.db.execute(
+            f"SELECT * FROM {ref_table} WHERE {ref_column} = ?", (value,)
+        )
+        return Response.html(
+            render_result_table(self.db, document, ref_table, result, user)
+        )
+
+    def _browse_pk(self, request: Request) -> Response:
+        """Primary-key browsing: all referencing rows in one child table."""
+        user = request.require_user()
+        document = self.document_for(user)
+        ref = request.require_param("ref")
+        value = request.require_param("value")
+        child_table, child_column = parse_colid(ref)
+        result = self.db.execute(
+            f"SELECT * FROM {child_table} WHERE {child_column} = ?", (value,)
+        )
+        return Response.html(
+            render_result_table(self.db, document, child_table, result, user)
+        )
+
+    # -- object rematerialisation -----------------------------------------------------------
+
+    def _find_row(self, table_name: str, params: dict[str, Any]):
+        """Locate one row via ``key_<COLUMN>`` parameters."""
+        schema = self.db.catalog.schema(table_name)
+        clauses = []
+        values = []
+        for key, value in params.items():
+            if key.startswith("key_"):
+                column = key[len("key_"):].upper()
+                schema.column(column)  # validates
+                clauses.append(f"{column} = ?")
+                values.append(value)
+        if not clauses:
+            raise WebError("no key_<column> parameters supplied")
+        sql = f"SELECT * FROM {table_name} WHERE " + " AND ".join(clauses)
+        result = self.db.execute(sql, tuple(values))
+        if len(result.rows) != 1:
+            raise WebError(
+                f"key parameters matched {len(result.rows)} rows (need exactly 1)"
+            )
+        row = {}
+        for name, value in zip(result.columns, result.rows[0]):
+            row[f"{table_name.upper()}.{name}"] = value
+            row[name] = value
+        return row
+
+    def _lob(self, request: Request) -> Response:
+        """Rematerialise a BLOB/CLOB 'and return [it] to the user's browser
+        with the appropriate MIME type set'."""
+        request.require_user()
+        table_name = request.require_param("table").upper()
+        column_name = request.require_param("column").upper()
+        row = self._find_row(table_name, request.params)
+        value = row.get(f"{table_name}.{column_name}")
+        if isinstance(value, Blob):
+            return Response.data(value.data, value.mime_type)
+        if isinstance(value, Clob):
+            return Response.data(value.text.encode("utf-8"), value.mime_type)
+        raise WebError(f"{table_name}.{column_name} holds no LOB for this row")
+
+    def _download(self, request: Request) -> Response:
+        """Dataset download via the DATALINK's file server.
+
+        Guests cannot download datasets (the demo's restriction)."""
+        user = request.require_user()
+        if not user.can_download:
+            raise AuthorizationError("guest users cannot download datasets")
+        url = request.require_param("url")
+        value = DatalinkValue.parse_tokenized(url)
+        if value.token is None:
+            # No token in the URL: obtain one through the datalink manager,
+            # exactly as a fresh SELECT would.
+            column = self._datalink_column_for(value)
+            spec = column.type.spec if column is not None else None
+            value = self.linker.decorate(value, spec)
+        data = self.linker.download(value)
+        return Response.data(data, "application/octet-stream")
+
+    def _datalink_column_for(self, value: DatalinkValue):
+        """Find the schema column whose stored value matches this URL."""
+        for table in self.db.catalog.tables():
+            for column in table.schema.datalink_columns:
+                index = table.schema.column_index(column.name)
+                for _rowid, row in table.scan():
+                    stored = row[index]
+                    if stored is not None and stored.url == value.url:
+                        return column
+        return None
+
+    # -- operations -------------------------------------------------------------------------
+
+    def _operation_context(self, request: Request):
+        user = request.require_user()
+        document = self.document_for(user)
+        colid = request.require_param("colid")
+        table_name, _column = parse_colid(colid)
+        row = self._find_row(table_name, request.params)
+        return user, document, colid, row
+
+    def _operation_form(self, request: Request) -> Response:
+        user, document, colid, row = self._operation_context(request)
+        name = request.require_param("name")
+        operation = self.engine.operation(colid, name)
+        if not user.can_run_operation(operation):
+            raise AuthorizationError(f"guests may not run {name}")
+        hidden = {"name": name, "colid": colid}
+        for key, value in request.params.items():
+            if key.startswith("key_"):
+                hidden[key] = str(value)
+        return Response.html(render_operation_form(operation, hidden=hidden))
+
+    def _operation_run(self, request: Request) -> Response:
+        user, _document, colid, row = self._operation_context(request)
+        name = request.require_param("name")
+        operation = self.engine.operation(colid, name)
+        params = {
+            param.name: request.params[param.name]
+            for param in operation.params
+            if param.name in request.params
+        }
+        session_tag = (
+            request.session.session_id if request.session else "anonymous"
+        )
+        result = self.engine.invoke(
+            name, colid, row, params, user=user, session_tag=session_tag
+        )
+        return self._operation_response(result)
+
+    def _operation_response(self, result) -> Response:
+        if len(result.outputs) == 1:
+            output_name, data = next(iter(result.outputs.items()))
+            suffix = "." + output_name.rsplit(".", 1)[-1]
+            mime = _OUTPUT_MIME.get(suffix, "application/octet-stream")
+            return Response.data(data, mime)
+        items = "".join(
+            f"<li>{escape(name)} ({len(data)} bytes)</li>"
+            for name, data in sorted(result.outputs.items())
+        )
+        stdout = (
+            f"<pre>{escape(result.stdout)}</pre>" if result.stdout else ""
+        )
+        return Response.html(
+            page(
+                f"Operation {result.operation.name} output",
+                f"<ul>{items}</ul>{stdout}",
+            )
+        )
+
+    # -- code upload ---------------------------------------------------------------------------
+
+    def _upload_form(self, request: Request) -> Response:
+        user, document, colid, _row = self._operation_context(request)
+        column = document.column(colid)
+        if column.upload is None:
+            raise WebError(f"{colid} does not accept uploads")
+        if user.is_guest and not column.upload.guest_access:
+            raise AuthorizationError("guest users cannot upload post-processing codes")
+        hidden = "".join(
+            f'<input type="hidden" name="{escape(k)}" value="{escape(v)}"/>'
+            for k, v in request.params.items()
+        )
+        body = (
+            f'<form method="POST" action="/upload/run">{hidden}'
+            '<label>Class to run <input type="text" name="class"/></label> '
+            '<label>Archive <input type="file" name="archive"/></label> '
+            '<input type="submit" value="Upload and run"/></form>'
+        )
+        return Response.html(page("Upload post-processing code", body))
+
+    def _upload_run(self, request: Request) -> Response:
+        user, _document, colid, row = self._operation_context(request)
+        archive = request.files.get("archive")
+        if archive is None:
+            raise WebError("no archive file uploaded")
+        class_name = request.require_param("class")
+        session_tag = (
+            request.session.session_id if request.session else "anonymous"
+        )
+        result = self.uploader.run_upload(
+            colid, row, archive, class_name, user=user, session_tag=session_tag
+        )
+        return self._operation_response(result)
+
+    def _operation_progress(self, request: Request) -> Response:
+        """Runtime monitoring of operation progress (future-work feature):
+        the stage log of this session's recent invocations."""
+        request.require_user()
+        session_tag = (
+            request.session.session_id if request.session else "anonymous"
+        )
+        events = self.engine.events_for_session(session_tag)
+        rows = "".join(
+            f"<tr><td>{seq}</td><td>{escape(op)}</td>"
+            f"<td>{escape(stage)}</td><td>{escape(detail)}</td></tr>"
+            for seq, _tag, op, stage, detail in events
+        )
+        body = (
+            '<table border="1"><tr><th>#</th><th>operation</th>'
+            "<th>stage</th><th>detail</th></tr>" + rows + "</table>"
+            if events
+            else "<p>no operations have run in this session yet</p>"
+        )
+        return Response.html(page("Operation progress", body))
+
+    # -- statistics and administration ------------------------------------------------------------
+
+    def _stats(self, request: Request) -> Response:
+        request.require_user()
+        items = "".join(
+            f"<li>{escape(summary.describe())}</li>"
+            for summary in self.engine.stats.summaries()
+        )
+        return Response.html(
+            page("Operation statistics", f"<ul>{items or '<li>none yet</li>'}</ul>")
+        )
+
+    def _admin_users(self, request: Request) -> Response:
+        user = request.require_user()
+        if not user.can_manage_users:
+            raise AuthorizationError("user management requires the admin role")
+        if request.method == "POST":
+            action = request.param("action", "add")
+            if action == "add":
+                self.users.add_user(
+                    request.require_param("username"),
+                    request.require_param("password"),
+                    request.param("role", "user"),
+                )
+            elif action == "remove":
+                self.users.remove_user(request.require_param("username"))
+            else:
+                raise WebError(f"unknown action {action!r}")
+        rows = "".join(
+            f"<li>{escape(name)} ({escape(self.users.user(name).role)})</li>"
+            for name in self.users.usernames()
+        )
+        return Response.html(page("User management", f"<ul>{rows}</ul>"))
+
+    def _admin_xuis(self, request: Request) -> Response:
+        """Download or hot-swap the XUIS (paper: "The default XUIS can be
+        customised prior to system initialisation" — here, also at runtime).
+
+        GET returns the active specification as XML; POST with an ``xuis``
+        file validates the uploaded document against the DTD rules and the
+        live catalog, then installs it atomically for the app *and* the
+        operation engine."""
+        user = request.require_user()
+        if not user.can_manage_users:
+            raise AuthorizationError("XUIS management requires the admin role")
+        from repro.xuis import assert_valid, parse_xuis, serialize_xuis
+
+        if request.method == "POST":
+            payload = request.files.get("xuis")
+            if payload is None:
+                raise WebError("no xuis file uploaded")
+            document = parse_xuis(payload.decode("utf-8"))
+            assert_valid(document, self.db)
+            self.document = document
+            self.engine.document = document
+            return Response.html(
+                page("XUIS installed",
+                     f"<p>{len(document.tables)} table(s) active.</p>")
+            )
+        return Response.data(
+            serialize_xuis(self.document).encode("utf-8"), "application/xml"
+        )

@@ -1,0 +1,122 @@
+"""Hyperlinked result-cell rendering — the paper's browsing model.
+
+Four kinds of browsable cell, each becoming a hyperlink in result tables:
+
+* **Foreign-key browsing** — a value in a foreign-key column links to the
+  full referenced row ("selecting a link on an AUTHOR_KEY value will
+  retrieve full details of the author").  With an XUIS ``substcolumn``,
+  the displayed text is taken from the referenced table (e.g. the
+  author's name) instead of the raw key.
+* **Primary-key browsing** — a primary-key value links once per
+  *referencing* table (from ``<pk><refby/></pk>``): SIMULATION_KEY offers
+  links into RESULT_FILE, CODE_FILE and VISUALISATION_FILE.
+* **BLOB/CLOB browsing** — the cell shows the object size; the link
+  rematerialises the object with its MIME type.
+* **DATALINK browsing** — the cell shows the linked file's size; the link
+  target is the token-carrying URL on the remote file server.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+from urllib.parse import quote_plus
+
+from repro.sqldb.database import Database
+from repro.sqldb.types import Blob, Clob, DatalinkValue
+from repro.web.http import escape
+from repro.xuis.model import XuisColumn, XuisDocument, XuisTable, parse_colid
+
+__all__ = ["CellRenderer"]
+
+
+def _q(value: Any) -> str:
+    return quote_plus(str(value))
+
+
+class CellRenderer:
+    """Turns raw column values into the hyperlinked HTML cells."""
+
+    def __init__(self, db: Database, document: XuisDocument) -> None:
+        self._db = db
+        self._document = document
+
+    def render(self, table: XuisTable, column: XuisColumn, value: Any,
+               row: dict[str, Any]) -> str:
+        """HTML for one cell.  ``row`` maps colids to the full row's values
+        (needed to address LOBs by primary key)."""
+        if value is None:
+            return ""
+        if isinstance(value, DatalinkValue):
+            return self._render_datalink(value)
+        if isinstance(value, (Blob, Clob)):
+            return self._render_lob(table, column, value, row)
+        if column.fk is not None:
+            return self._render_fk(column, value)
+        if column.pk is not None and column.pk.refby:
+            return self._render_pk(column, value)
+        return escape(value)
+
+    # -- datalink -----------------------------------------------------------
+
+    def _render_datalink(self, value: DatalinkValue) -> str:
+        size = f"{value.size} bytes" if value.size is not None else value.filename
+        return (
+            f'<a class="datalink" href="{escape(value.tokenized_url)}">'
+            f"{escape(size)}</a>"
+        )
+
+    # -- lobs -------------------------------------------------------------------
+
+    def _render_lob(self, table: XuisTable, column: XuisColumn, value,
+                    row: dict[str, Any]) -> str:
+        key_params = []
+        for pk_colid in table.primary_key:
+            if pk_colid in row and row[pk_colid] is not None:
+                _t, pk_col = parse_colid(pk_colid)
+                key_params.append(f"key_{_q(pk_col)}={_q(row[pk_colid])}")
+        href = (
+            f"/lob?table={_q(table.name)}&column={_q(column.name)}"
+            + ("&" + "&".join(key_params) if key_params else "")
+        )
+        label = f"{len(value)} " + ("bytes" if isinstance(value, Blob) else "chars")
+        return f'<a class="lob" href="{escape(href)}">{escape(label)}</a>'
+
+    # -- foreign keys ------------------------------------------------------------
+
+    def _render_fk(self, column: XuisColumn, value: Any) -> str:
+        display = value
+        if column.fk.substcolumn is not None:
+            substituted = self._lookup_substitute(column, value)
+            if substituted is not None:
+                display = substituted
+        href = (
+            f"/browse/fk?colid={_q(column.colid)}&value={_q(value)}"
+        )
+        return f'<a class="fk" href="{escape(href)}">{escape(display)}</a>'
+
+    def _lookup_substitute(self, column: XuisColumn, value: Any) -> Any:
+        """Fetch the substitute display value from the referenced table."""
+        ref_table, ref_column = parse_colid(column.fk.tablecolumn)
+        _t, subst_column = parse_colid(column.fk.substcolumn)
+        result = self._db.execute(
+            f"SELECT {subst_column} FROM {ref_table} WHERE {ref_column} = ?",
+            (value,),
+        )
+        return result.scalar()
+
+    # -- primary keys ----------------------------------------------------------------
+
+    def _render_pk(self, column: XuisColumn, value: Any) -> str:
+        """The paper's customised PK rendering: one link per referencing
+        table, labelled with that table's alias."""
+        links = [escape(value)]
+        for ref in column.pk.refby:
+            ref_table, _ref_column = parse_colid(ref)
+            label = ref_table
+            if self._document.has_table(ref_table):
+                label = self._document.table(ref_table).display_name
+            href = f"/browse/pk?ref={_q(ref)}&value={_q(value)}"
+            links.append(
+                f'<a class="pk" href="{escape(href)}">{escape(label)}</a>'
+            )
+        return " ".join(links)

@@ -1,0 +1,143 @@
+"""HTML form generation from the XUIS.
+
+Two generated artefacts, both shown as figures in the paper:
+
+* the **query form** for a table — one row per visible column with a
+  "return field" checkbox, an operator drop-down, a value box and the
+  XUIS sample values as suggestions (QBE style),
+* the **operation input form** — rendered from an operation's
+  ``<parameters>`` markup at invocation time (select lists, radio groups,
+  free inputs).
+"""
+
+from __future__ import annotations
+
+from repro.web.http import escape
+from repro.web.qbe import OPERATORS
+from repro.xuis.model import (
+    InputControl,
+    OperationSpec,
+    RadioControl,
+    SelectControl,
+    XuisTable,
+)
+
+__all__ = ["render_query_form", "render_operation_form", "render_login_form", "page"]
+
+
+def page(title: str, body: str) -> str:
+    """Wrap ``body`` in the archive's plain HTML frame."""
+    return (
+        "<html><head><title>" + escape(title) + "</title></head>"
+        "<body><h1>" + escape(title) + "</h1>" + body + "</body></html>"
+    )
+
+
+def render_login_form(message: str = "") -> str:
+    note = f"<p>{escape(message)}</p>" if message else ""
+    body = (
+        note
+        + '<form method="POST" action="/login">'
+        '<label>Username <input type="text" name="username"/></label> '
+        '<label>Password <input type="password" name="password"/></label> '
+        '<input type="submit" value="Log in"/></form>'
+    )
+    return page("EASIA Login", body)
+
+
+def render_query_form(table: XuisTable, action: str = "/search") -> str:
+    """The QBE query form for one table."""
+    rows = []
+    for column in table.visible_columns():
+        samples = ""
+        if column.samples:
+            options = "".join(
+                f'<option value="{escape(s)}">{escape(s)}</option>'
+                for s in column.samples
+            )
+            samples = (
+                f'<select name="sample_{escape(column.name)}" '
+                f'class="samples"><option value="">sample values...</option>'
+                f"{options}</select>"
+            )
+        operators = "".join(
+            f'<option value="{escape(op)}">{escape(op)}</option>'
+            for op in OPERATORS
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{escape(column.display_name)}</td>"
+            f'<td><input type="checkbox" name="show_{escape(column.name)}" '
+            'checked="checked"/></td>'
+            f'<td><select name="op_{escape(column.name)}">{operators}</select></td>'
+            f'<td><input type="text" name="val_{escape(column.name)}"/></td>'
+            f"<td>{samples}</td>"
+            "</tr>"
+        )
+    header = (
+        "<tr><th>Field</th><th>Return</th><th>Operator</th>"
+        "<th>Restriction</th><th>Samples</th></tr>"
+    )
+    body = (
+        f'<form method="GET" action="{escape(action)}">'
+        f'<input type="hidden" name="table" value="{escape(table.name)}"/>'
+        f'<table border="1">{header}{"".join(rows)}</table>'
+        '<label>Order by <input type="text" name="order_by"/></label> '
+        '<label>Limit <input type="text" name="limit"/></label> '
+        '<input type="submit" value="Search"/>'
+        "</form>"
+    )
+    return page(f"Query {table.display_name}", body)
+
+
+def render_operation_form(
+    operation: OperationSpec,
+    action: str = "/operation/run",
+    hidden: dict[str, str] | None = None,
+) -> str:
+    """The parameter-entry form for one operation invocation.
+
+    ``hidden`` carries the invocation context (operation name, target
+    column, target row key) through the form round-trip.
+    """
+    controls = []
+    for param in operation.params:
+        controls.append(f"<p>{escape(param.description)}</p>")
+        control = param.control
+        if isinstance(control, SelectControl):
+            size = f' size="{control.size}"' if control.size else ""
+            options = "".join(
+                f'<option value="{escape(value)}">{escape(label)}</option>'
+                for value, label in control.options
+            )
+            controls.append(
+                f'<select name="{escape(control.name)}"{size}>{options}</select>'
+            )
+        elif isinstance(control, RadioControl):
+            for i, (value, label) in enumerate(control.options):
+                checked = ' checked="checked"' if i == 0 else ""
+                controls.append(
+                    f'<label><input type="radio" name="{escape(control.name)}" '
+                    f'value="{escape(value)}"{checked}/>{escape(label)}</label>'
+                )
+        elif isinstance(control, InputControl):
+            default = f' value="{escape(control.default)}"' if control.default else ""
+            controls.append(
+                f'<input type="{escape(control.input_type)}" '
+                f'name="{escape(control.name)}"{default}/>'
+            )
+    hidden_inputs = "".join(
+        f'<input type="hidden" name="{escape(k)}" value="{escape(v)}"/>'
+        for k, v in (hidden or {}).items()
+    )
+    description = (
+        f"<p>{escape(operation.description)}</p>" if operation.description else ""
+    )
+    body = (
+        description
+        + f'<form method="POST" action="{escape(action)}">'
+        + hidden_inputs
+        + "".join(controls)
+        + '<p><input type="submit" value="Run operation"/></p></form>'
+    )
+    return page(f"Operation: {operation.name}", body)

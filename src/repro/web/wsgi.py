@@ -1,0 +1,136 @@
+"""WSGI adapter for the EASIA application.
+
+The servlet container is transport-agnostic; this module makes it speak
+WSGI so the archive runs under any standard Python HTTP server — the
+stdlib's ``wsgiref`` is enough for a demo deployment:
+
+    from wsgiref.simple_server import make_server
+    from repro.web.wsgi import WsgiAdapter
+
+    httpd = make_server("", 8080, WsgiAdapter(app))
+    httpd.serve_forever()
+
+Sessions ride an ``easia_session`` cookie (set by ``/login``); form posts
+accept ``application/x-www-form-urlencoded`` and ``multipart/form-data``
+(the code-upload form).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+from urllib.parse import parse_qsl
+
+from repro.web.app import EasiaApp
+
+__all__ = ["WsgiAdapter", "parse_multipart"]
+
+_COOKIE_NAME = "easia_session"
+
+
+def _parse_cookies(header: str) -> dict[str, str]:
+    cookies: dict[str, str] = {}
+    for part in header.split(";"):
+        name, sep, value = part.strip().partition("=")
+        if sep:
+            cookies[name] = value
+    return cookies
+
+
+def parse_multipart(body: bytes, content_type: str) -> tuple[dict, dict]:
+    """Minimal ``multipart/form-data`` parser.
+
+    Returns ``(fields, files)``: text fields decoded as UTF-8, parts with a
+    ``filename`` kept as bytes under their field name.
+    """
+    _mime, _, tail = content_type.partition("boundary=")
+    boundary = tail.strip().strip('"')
+    if not boundary:
+        return {}, {}
+    delimiter = b"--" + boundary.encode("ascii")
+    fields: dict[str, str] = {}
+    files: dict[str, bytes] = {}
+    for chunk in body.split(delimiter):
+        chunk = chunk.strip(b"\r\n")
+        if not chunk or chunk == b"--":
+            continue
+        header_blob, _, payload = chunk.partition(b"\r\n\r\n")
+        headers = header_blob.decode("utf-8", errors="replace")
+        name = None
+        filename = None
+        for line in headers.splitlines():
+            if line.lower().startswith("content-disposition"):
+                for item in line.split(";"):
+                    item = item.strip()
+                    if item.startswith("name="):
+                        name = item[len("name="):].strip('"')
+                    elif item.startswith("filename="):
+                        filename = item[len("filename="):].strip('"')
+        if name is None:
+            continue
+        payload = payload.rstrip(b"\r\n")
+        if filename is not None:
+            files[name] = payload
+        else:
+            fields[name] = payload.decode("utf-8", errors="replace")
+    return fields, files
+
+
+class WsgiAdapter:
+    """Wraps an :class:`EasiaApp` as a WSGI callable."""
+
+    def __init__(self, app: EasiaApp) -> None:
+        self.app = app
+
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        path = environ.get("PATH_INFO", "/") or "/"
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        params: dict = dict(parse_qsl(environ.get("QUERY_STRING", "")))
+        files: dict = {}
+
+        if method == "POST":
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            body = environ["wsgi.input"].read(length) if length else b""
+            content_type = environ.get("CONTENT_TYPE", "")
+            if content_type.startswith("multipart/form-data"):
+                fields, files = parse_multipart(body, content_type)
+                params.update(fields)
+            elif body:
+                params.update(parse_qsl(body.decode("utf-8", errors="replace")))
+
+        cookies = _parse_cookies(environ.get("HTTP_COOKIE", ""))
+        session_id = params.pop("session", None) or cookies.get(_COOKIE_NAME)
+
+        response = self.app.container.dispatch(
+            path, params, method, session_id, files
+        )
+
+        status_text = {
+            200: "200 OK",
+            302: "302 Found",
+            400: "400 Bad Request",
+            401: "401 Unauthorized",
+            403: "403 Forbidden",
+            404: "404 Not Found",
+        }.get(response.status, f"{response.status} Status")
+        body_bytes = (
+            response.body
+            if isinstance(response.body, bytes)
+            else response.body.encode("utf-8")
+        )
+        headers = [
+            ("Content-Type", response.content_type),
+            ("Content-Length", str(len(body_bytes))),
+        ]
+        for name, value in response.headers.items():
+            if name == "X-Session-Id":
+                # a fresh login: persist the session in a cookie
+                headers.append(
+                    ("Set-Cookie", f"{_COOKIE_NAME}={value}; Path=/; HttpOnly")
+                )
+            else:
+                headers.append((name, value))
+        start_response(status_text, headers)
+        return [body_bytes]

@@ -1,0 +1,67 @@
+"""XUIS — the XML User Interface Specification.
+
+EASIA's interface is not hand-written: a generator reads the database
+catalog and emits an XML document describing tables, columns, types,
+sample values and key relationships; the web layer renders whatever the
+document says.  Customising the document (aliases, hidden columns,
+substitute columns, user-defined relationships, operations, uploads)
+changes the interface without touching any code, and different users can
+be served different documents over the same data.
+
+* :func:`generate_default_xuis` — the generation tool,
+* :func:`serialize_xuis` / :func:`parse_xuis` — XML round-trip,
+* :func:`validate_xuis` / :func:`assert_valid` — DTD-style validation,
+* :class:`Customizer` / :func:`personalise` — customisation API,
+* :mod:`repro.xuis.model` — the document model classes.
+"""
+
+from repro.xuis.customize import Customizer, personalise
+from repro.xuis.dtd import assert_valid, validate_xuis
+from repro.xuis.generate import default_alias, generate_default_xuis
+from repro.xuis.model import (
+    Condition,
+    DatabaseResultLocation,
+    InputControl,
+    OperationSpec,
+    ParamSpec,
+    RadioControl,
+    SelectControl,
+    UploadSpec,
+    UrlLocation,
+    XuisColumn,
+    XuisDocument,
+    XuisFk,
+    XuisPk,
+    XuisTable,
+    XuisType,
+    parse_colid,
+)
+from repro.xuis.parse import parse_xuis
+from repro.xuis.serialize import serialize_xuis
+
+__all__ = [
+    "generate_default_xuis",
+    "default_alias",
+    "serialize_xuis",
+    "parse_xuis",
+    "validate_xuis",
+    "assert_valid",
+    "Customizer",
+    "personalise",
+    "XuisDocument",
+    "XuisTable",
+    "XuisColumn",
+    "XuisType",
+    "XuisPk",
+    "XuisFk",
+    "Condition",
+    "OperationSpec",
+    "UploadSpec",
+    "ParamSpec",
+    "SelectControl",
+    "RadioControl",
+    "InputControl",
+    "DatabaseResultLocation",
+    "UrlLocation",
+    "parse_colid",
+]

@@ -1,0 +1,245 @@
+"""XUIS validation.
+
+Paper: "Default XUIS conforms to a DTD that we have created."  The checks
+here are the semantic content of that DTD plus the cross-references a DTD
+cannot express, applied to the document model:
+
+structural rules
+    every table has a name and at least one column; colids are
+    ``TABLE.COLUMN`` and agree with the owning table/column; declared
+    types are known; SELECT/radio controls have at least one option;
+    operation names are unique per column.
+
+referential rules
+    a table's ``primaryKey`` names its own columns; ``<refby>``, ``<fk>``
+    and ``<condition>`` colids resolve within the document; substitute
+    columns live in the referenced table; operations with a JAVA/
+    executable type have a filename; ``<database.result>`` locations name
+    a DATALINK column.
+
+catalog rules (optional)
+    when a database is supplied, every XUIS table/column must exist in its
+    catalog with a matching type, so the interface can never offer a query
+    the engine would reject.
+
+:func:`validate_xuis` returns the list of violations (empty = valid);
+:func:`assert_valid` raises :class:`XuisValidationError` with all of them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XuisError, XuisValidationError
+from repro.xuis.model import (
+    DatabaseResultLocation,
+    XuisDocument,
+    parse_colid,
+)
+
+__all__ = ["validate_xuis", "assert_valid"]
+
+_KNOWN_TYPES = {
+    "INTEGER", "DOUBLE", "BOOLEAN", "VARCHAR", "CHAR",
+    "DATE", "TIMESTAMP", "BLOB", "CLOB", "DATALINK",
+    "ANY",  # view columns, whose output types are not declared
+}
+
+
+def validate_xuis(document: XuisDocument, db=None) -> list[str]:
+    """Collect every rule violation in ``document`` (optionally also
+    cross-checking against database ``db``'s catalog)."""
+    problems: list[str] = []
+    seen_tables: set[str] = set()
+
+    for table in document.tables:
+        where = f"table {table.name}"
+        if table.name in seen_tables:
+            problems.append(f"{where}: duplicate table")
+        seen_tables.add(table.name)
+        if not table.columns:
+            problems.append(f"{where}: has no columns")
+        _check_primary_key(table, problems)
+        seen_columns: set[str] = set()
+        for column in table.columns:
+            _check_column(document, table, column, problems)
+            if column.name in seen_columns:
+                problems.append(f"{where}: duplicate column {column.name}")
+            seen_columns.add(column.name)
+
+    if db is not None:
+        _check_against_catalog(document, db, problems)
+    return problems
+
+
+def assert_valid(document: XuisDocument, db=None) -> None:
+    problems = validate_xuis(document, db)
+    if problems:
+        raise XuisValidationError(
+            f"XUIS has {len(problems)} problem(s):\n- " + "\n- ".join(problems)
+        )
+
+
+def _resolves(document: XuisDocument, colid: str) -> bool:
+    try:
+        table_name, column_name = parse_colid(colid)
+    except XuisError:
+        return False
+    if not document.has_table(table_name):
+        return False
+    return document.table(table_name).has_column(column_name)
+
+
+def _check_primary_key(table, problems: list[str]) -> None:
+    for colid in table.primary_key:
+        try:
+            owner, column_name = parse_colid(colid)
+        except XuisError:
+            problems.append(f"table {table.name}: bad primaryKey colid {colid!r}")
+            continue
+        if owner != table.name:
+            problems.append(
+                f"table {table.name}: primaryKey {colid} names another table"
+            )
+        elif not table.has_column(column_name):
+            problems.append(
+                f"table {table.name}: primaryKey column {column_name} not present"
+            )
+
+
+def _check_column(document, table, column, problems: list[str]) -> None:
+    where = f"column {column.colid}"
+    try:
+        owner, name = parse_colid(column.colid)
+        if owner != table.name or name != column.name:
+            problems.append(
+                f"{where}: colid disagrees with table {table.name} / "
+                f"column {column.name}"
+            )
+    except XuisError:
+        problems.append(f"{where}: malformed colid")
+
+    if column.type.name not in _KNOWN_TYPES:
+        problems.append(f"{where}: unknown type {column.type.name}")
+    if column.type.name in ("VARCHAR", "CHAR") and not column.type.size:
+        problems.append(f"{where}: {column.type.name} needs a size")
+
+    if column.pk is not None:
+        for ref in column.pk.refby:
+            if not _resolves(document, ref):
+                problems.append(f"{where}: refby {ref} does not resolve")
+    if column.fk is not None:
+        if not _resolves(document, column.fk.tablecolumn):
+            problems.append(
+                f"{where}: fk target {column.fk.tablecolumn} does not resolve"
+            )
+        if column.fk.substcolumn is not None:
+            if not _resolves(document, column.fk.substcolumn):
+                problems.append(
+                    f"{where}: substcolumn {column.fk.substcolumn} does not resolve"
+                )
+            else:
+                fk_table, _ = parse_colid(column.fk.tablecolumn)
+                subst_table, _ = parse_colid(column.fk.substcolumn)
+                if fk_table != subst_table:
+                    problems.append(
+                        f"{where}: substcolumn {column.fk.substcolumn} is not "
+                        f"in referenced table {fk_table}"
+                    )
+
+    seen_ops: set[str] = set()
+    for operation in column.operations:
+        op_where = f"{where}: operation {operation.name}"
+        if operation.name in seen_ops:
+            problems.append(f"{op_where}: duplicate operation name")
+        seen_ops.add(operation.name)
+        _check_operation(document, op_where, operation, problems, column)
+    if column.upload is not None:
+        if not column.type.is_datalink:
+            problems.append(f"{where}: upload allowed on non-DATALINK column")
+        for condition in column.upload.conditions:
+            if not _resolves(document, condition.colid):
+                problems.append(
+                    f"{where}: upload condition colid {condition.colid} "
+                    f"does not resolve"
+                )
+
+
+def _check_operation(document, op_where, operation, problems: list[str],
+                     column=None) -> None:
+    for condition in operation.conditions:
+        if not _resolves(document, condition.colid):
+            problems.append(
+                f"{op_where}: condition colid {condition.colid} does not resolve"
+            )
+    if operation.is_chain:
+        # extended DTD: a chain names sibling operations on the same column
+        if column is not None:
+            siblings = {op.name for op in column.operations}
+            for step in operation.chain:
+                if step == operation.name:
+                    problems.append(f"{op_where}: chain references itself")
+                elif step not in siblings:
+                    problems.append(
+                        f"{op_where}: chain step {step!r} is not an "
+                        f"operation on this column"
+                    )
+        if operation.location is not None:
+            problems.append(
+                f"{op_where}: a chain operation must not also have a <location>"
+            )
+        return
+    location = operation.location
+    if location is None:
+        problems.append(f"{op_where}: has no <location>")
+        return
+    if isinstance(location, DatabaseResultLocation):
+        if not _resolves(document, location.colid):
+            problems.append(
+                f"{op_where}: location colid {location.colid} does not resolve"
+            )
+        else:
+            target = document.column(location.colid)
+            if not target.type.is_datalink:
+                problems.append(
+                    f"{op_where}: location {location.colid} is not a DATALINK column"
+                )
+        for condition in location.conditions:
+            if not _resolves(document, condition.colid):
+                problems.append(
+                    f"{op_where}: location condition {condition.colid} "
+                    f"does not resolve"
+                )
+        if operation.type in ("JAVA", "EXECUTABLE", "SCRIPT") and not operation.filename:
+            problems.append(f"{op_where}: archived operation needs a filename")
+    else:  # UrlLocation
+        if not location.url:
+            problems.append(f"{op_where}: empty <URL>")
+
+    for param in operation.params:
+        control = param.control
+        if hasattr(control, "options") and not control.options:
+            problems.append(
+                f"{op_where}: parameter {param.name!r} has no options"
+            )
+
+
+def _check_against_catalog(document, db, problems: list[str]) -> None:
+    catalog = db.catalog
+    for table in document.tables:
+        if catalog.is_view(table.name):
+            continue  # view output shapes are checked at query time
+        if not catalog.has_table(table.name):
+            problems.append(f"catalog: no such table {table.name}")
+            continue
+        schema = catalog.schema(table.name)
+        for column in table.columns:
+            if not schema.has_column(column.name):
+                problems.append(
+                    f"catalog: no such column {table.name}.{column.name}"
+                )
+                continue
+            engine_type = schema.column(column.name).type.name
+            if engine_type != column.type.name:
+                problems.append(
+                    f"catalog: {column.colid} is {engine_type} in the "
+                    f"database but {column.type.name} in the XUIS"
+                )

@@ -1,0 +1,148 @@
+"""Default XUIS generation.
+
+Paper: "We provide a tool to generate automatically a default user
+interface specification, in the form of an XML document, for a given
+database. [...] Written in Java, uses JDBC to extract data and schema
+information from the database being used to archive simulation results."
+
+:func:`generate_default_xuis` is that tool: it reads the system catalog
+(tables, columns, types, primary keys, foreign keys) plus live sample
+values and emits an :class:`~repro.xuis.model.XuisDocument`:
+
+* every table and column appears, un-aliased and visible,
+* each column carries its type and up to N sample data values,
+* primary-key columns list every foreign key referencing them
+  (``<pk><refby/></pk>`` — drives primary-key browsing),
+* foreign-key columns carry ``<fk tablecolumn="..."/>`` (drives
+  foreign-key browsing),
+* no operations or uploads — those are added by customisation.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb.database import Database
+from repro.sqldb.types import CharType, VarcharType
+from repro.xuis.model import (
+    XuisColumn,
+    XuisDocument,
+    XuisFk,
+    XuisPk,
+    XuisTable,
+    XuisType,
+)
+
+__all__ = ["generate_default_xuis", "default_alias"]
+
+
+def default_alias(identifier: str) -> str:
+    """Human-friendly default alias: ``RESULT_FILE`` -> ``Result File``."""
+    return " ".join(part.capitalize() for part in identifier.split("_"))
+
+
+def generate_default_xuis(
+    db: Database,
+    samples_per_column: int = 3,
+    title: str = "EASIA Archive",
+    include_views: bool = False,
+) -> XuisDocument:
+    """Build the default specification for every table in ``db``.
+
+    With ``include_views``, SQL views also appear as browsable tables —
+    the curator's way to publish pre-joined or filtered slices of the
+    archive (columns are typed ``ANY`` since a view's output types are
+    not declared).
+    """
+    catalog = db.catalog
+    tables = []
+    for table in catalog.tables():
+        schema = table.schema
+        # Map column -> outgoing fk (single-column fks drive browsing).
+        fk_by_column: dict[str, XuisFk] = {}
+        for fk in schema.foreign_keys:
+            if len(fk.columns) == 1:
+                fk_by_column[fk.columns[0]] = XuisFk(
+                    f"{fk.ref_table}.{fk.ref_columns[0]}"
+                )
+        # Map pk column -> list of referencing colids.
+        refby: dict[str, list[str]] = {c: [] for c in schema.primary_key}
+        for child_name, child_fk in catalog.references_to(schema.name):
+            for child_col, ref_col in zip(child_fk.columns, child_fk.ref_columns):
+                if ref_col in refby:
+                    refby[ref_col].append(f"{child_name}.{child_col}")
+
+        columns = []
+        for column in schema.columns:
+            size = None
+            if isinstance(column.type, (VarcharType, CharType)):
+                size = column.type.size
+            colid = f"{schema.name}.{column.name}"
+            pk = None
+            if column.name in refby:
+                pk = XuisPk(sorted(refby[column.name]))
+            samples = [
+                _sample_text(v)
+                for v in catalog.sample_values(
+                    schema.name, column.name, samples_per_column
+                )
+            ]
+            columns.append(
+                XuisColumn(
+                    column.name,
+                    colid,
+                    XuisType(column.type.name, size),
+                    alias=default_alias(column.name),
+                    samples=samples,
+                    pk=pk,
+                    fk=fk_by_column.get(column.name),
+                )
+            )
+        tables.append(
+            XuisTable(
+                schema.name,
+                primary_key=[f"{schema.name}.{c}" for c in schema.primary_key],
+                alias=default_alias(schema.name),
+                columns=columns,
+            )
+        )
+    if include_views:
+        for view_name in catalog.view_names():
+            result = db.execute(f"SELECT * FROM {view_name} LIMIT {samples_per_column}")
+            columns = []
+            for i, column_name in enumerate(result.columns):
+                samples = [
+                    _sample_text(row[i])
+                    for row in result.rows
+                    if row[i] is not None
+                ]
+                columns.append(
+                    XuisColumn(
+                        column_name,
+                        f"{view_name}.{column_name}",
+                        XuisType("ANY"),
+                        alias=default_alias(column_name),
+                        samples=samples,
+                    )
+                )
+            tables.append(
+                XuisTable(
+                    view_name,
+                    primary_key=[],
+                    alias=default_alias(view_name),
+                    columns=columns,
+                )
+            )
+    return XuisDocument(tables, title=title)
+
+
+def _sample_text(value) -> str:
+    """Render a sample value the way the XUIS stores it (as text)."""
+    from repro.sqldb.types import Blob, Clob, DatalinkValue
+
+    if isinstance(value, Clob):
+        text = value.text
+        return text[:40] + ("..." if len(text) > 40 else "")
+    if isinstance(value, Blob):
+        return f"<{len(value)} bytes>"
+    if isinstance(value, DatalinkValue):
+        return value.url
+    return str(value)

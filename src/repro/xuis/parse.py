@@ -1,0 +1,265 @@
+"""XML text -> XUIS document model (inverse of ``serialize``)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import XuisParseError
+from repro.xuis.model import (
+    Condition,
+    DatabaseResultLocation,
+    InputControl,
+    OperationSpec,
+    ParamSpec,
+    RadioControl,
+    SelectControl,
+    UploadSpec,
+    UrlLocation,
+    XuisColumn,
+    XuisDocument,
+    XuisFk,
+    XuisPk,
+    XuisTable,
+    XuisType,
+)
+
+__all__ = ["parse_xuis"]
+
+_TYPE_NAMES = {
+    "INTEGER", "DOUBLE", "BOOLEAN", "VARCHAR", "CHAR",
+    "DATE", "TIMESTAMP", "BLOB", "CLOB", "DATALINK", "ANY",
+}
+
+
+def parse_xuis(text: str) -> XuisDocument:
+    """Parse XUIS XML into the document model.
+
+    Raises :class:`XuisParseError` on malformed XML or unknown structure.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XuisParseError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "xuis":
+        raise XuisParseError(f"root element must be <xuis>, got <{root.tag}>")
+    tables = [_parse_table(el) for el in root.findall("table")]
+    return XuisDocument(tables, title=root.get("title", "EASIA Archive"))
+
+
+def _required(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise XuisParseError(
+            f"<{element.tag}> is missing required attribute {attribute!r}"
+        )
+    return value
+
+
+def _bool_attr(element: ET.Element, attribute: str, default: bool = False) -> bool:
+    value = element.get(attribute)
+    if value is None:
+        return default
+    if value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    raise XuisParseError(
+        f"attribute {attribute!r} of <{element.tag}> must be true/false"
+    )
+
+
+def _parse_table(element: ET.Element) -> XuisTable:
+    name = _required(element, "name")
+    primary_key = _required(element, "primaryKey").split()
+    alias_el = element.find("tablealias")
+    columns = [_parse_column(el) for el in element.findall("column")]
+    return XuisTable(
+        name,
+        primary_key=primary_key,
+        alias=alias_el.text if alias_el is not None else None,
+        hidden=_bool_attr(element, "hidden"),
+        columns=columns,
+    )
+
+
+def _parse_column(element: ET.Element) -> XuisColumn:
+    name = _required(element, "name")
+    colid = _required(element, "colid")
+    type_el = element.find("type")
+    if type_el is None:
+        raise XuisParseError(f"column {colid} has no <type>")
+    xuis_type = _parse_type(type_el, colid)
+
+    alias_el = element.find("columnalias")
+    pk = None
+    pk_el = element.find("pk")
+    if pk_el is not None:
+        pk = XuisPk(_required(r, "tablecolumn") for r in pk_el.findall("refby"))
+    fk = None
+    fk_el = element.find("fk")
+    if fk_el is not None:
+        fk = XuisFk(_required(fk_el, "tablecolumn"), fk_el.get("substcolumn"))
+    samples = [
+        s.text or "" for s in element.findall("samples/sample")
+    ]
+    operations = [_parse_operation(el) for el in element.findall("operation")]
+    upload = None
+    upload_el = element.find("upload")
+    if upload_el is not None:
+        upload = UploadSpec(
+            type=upload_el.get("type", "JAVA"),
+            format=upload_el.get("format", "jar"),
+            guest_access=_bool_attr(upload_el, "guest.access"),
+            column_wide=_bool_attr(upload_el, "column"),
+            conditions=_parse_conditions(upload_el.find("if")),
+        )
+    return XuisColumn(
+        name,
+        colid,
+        xuis_type,
+        alias=alias_el.text if alias_el is not None else None,
+        hidden=_bool_attr(element, "hidden"),
+        samples=samples,
+        pk=pk,
+        fk=fk,
+        operations=operations,
+        upload=upload,
+    )
+
+
+def _parse_type(type_el: ET.Element, colid: str) -> XuisType:
+    name = None
+    size = None
+    for child in type_el:
+        tag = child.tag.upper()
+        if tag == "SIZE":
+            try:
+                size = int(child.text or "")
+            except ValueError:
+                raise XuisParseError(f"bad <size> for column {colid}") from None
+        elif tag in _TYPE_NAMES:
+            if name is not None:
+                raise XuisParseError(f"column {colid} declares two types")
+            name = tag
+        else:
+            raise XuisParseError(f"unknown type element <{child.tag}> in {colid}")
+    if name is None:
+        raise XuisParseError(f"column {colid} has an empty <type>")
+    return XuisType(name, size)
+
+
+def _parse_conditions(if_el: ET.Element | None) -> list[Condition]:
+    if if_el is None:
+        return []
+    conditions = []
+    for cond_el in if_el.findall("condition"):
+        conditions.append(_parse_one_condition(cond_el))
+    return conditions
+
+
+def _parse_one_condition(cond_el: ET.Element) -> Condition:
+    colid = _required(cond_el, "colid")
+    children = list(cond_el)
+    if len(children) != 1:
+        raise XuisParseError(
+            f"condition on {colid} must have exactly one operator element"
+        )
+    op_el = children[0]
+    return Condition(colid, op_el.tag, _condition_value(op_el.text or ""))
+
+
+def _condition_value(text: str):
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_operation(element: ET.Element) -> OperationSpec:
+    location = None
+    location_el = element.find("location")
+    if location_el is not None:
+        url_el = location_el.find("URL")
+        result_el = location_el.find("database.result")
+        if url_el is not None:
+            location = UrlLocation(url_el.text or "")
+        elif result_el is not None:
+            conditions = [
+                _parse_one_condition(c) for c in result_el.findall("condition")
+            ]
+            location = DatabaseResultLocation(
+                _required(result_el, "colid"), conditions
+            )
+        else:
+            raise XuisParseError(
+                "operation <location> needs <URL> or <database.result>"
+            )
+    params = [
+        _parse_param(el) for el in element.findall("parameters/param")
+    ]
+    chain = [
+        _required(step, "name") for step in element.findall("chain/step")
+    ]
+    description_el = element.find("description")
+    return OperationSpec(
+        chain=chain,
+        name=_required(element, "name"),
+        type=element.get("type", ""),
+        filename=element.get("filename", ""),
+        format=element.get("format", ""),
+        guest_access=_bool_attr(element, "guest.access"),
+        column_wide=_bool_attr(element, "column"),
+        conditions=_parse_conditions(element.find("if")),
+        location=location,
+        params=params,
+        description=(description_el.text or "") if description_el is not None else "",
+    )
+
+
+def _parse_param(param_el: ET.Element) -> ParamSpec:
+    variable_el = param_el.find("variable")
+    if variable_el is None:
+        raise XuisParseError("<param> must contain <variable>")
+    description_el = variable_el.find("description")
+    description = (description_el.text or "") if description_el is not None else ""
+
+    select_el = variable_el.find("select")
+    if select_el is not None:
+        options = [
+            (_required(o, "value"), o.text or "")
+            for o in select_el.findall("option")
+        ]
+        size_text = select_el.get("size")
+        return ParamSpec(
+            description,
+            SelectControl(
+                _required(select_el, "name"),
+                options,
+                size=int(size_text) if size_text else None,
+            ),
+        )
+    inputs = variable_el.findall("input")
+    if inputs:
+        radios = [i for i in inputs if i.get("type") == "radio"]
+        if radios:
+            name = _required(radios[0], "name")
+            options = [
+                (_required(i, "value"), i.text or "") for i in radios
+            ]
+            return ParamSpec(description, RadioControl(name, options))
+        input_el = inputs[0]
+        return ParamSpec(
+            description,
+            InputControl(
+                _required(input_el, "name"),
+                input_type=input_el.get("type", "text"),
+                default=input_el.get("value", ""),
+            ),
+        )
+    raise XuisParseError("<variable> needs a <select> or <input> control")

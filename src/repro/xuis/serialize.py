@@ -1,0 +1,186 @@
+"""XUIS document -> XML text.
+
+The element and attribute names follow the paper's fragments exactly
+(``<tablealias>``, ``<pk><refby tablecolumn=.../></pk>``,
+``<fk tablecolumn=... substcolumn=...>``, ``guest.access``,
+``<database.result>``, ``<URL>``), so a document serialised here is
+recognisably the same artefact the paper shows.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.xuis.model import (
+    Condition,
+    DatabaseResultLocation,
+    InputControl,
+    OperationSpec,
+    ParamSpec,
+    RadioControl,
+    SelectControl,
+    UploadSpec,
+    UrlLocation,
+    XuisColumn,
+    XuisDocument,
+    XuisTable,
+)
+
+__all__ = ["serialize_xuis"]
+
+
+def serialize_xuis(document: XuisDocument, indent: bool = True) -> str:
+    """Render ``document`` as an XML string (UTF-8 text, with XML decl)."""
+    root = ET.Element("xuis", {"title": document.title})
+    for table in document.tables:
+        root.append(_table_element(table))
+    if indent:
+        ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _bool(value: bool) -> str:
+    return "true" if value else "false"
+
+
+def _table_element(table: XuisTable) -> ET.Element:
+    attrs = {"name": table.name, "primaryKey": " ".join(table.primary_key)}
+    if table.hidden:
+        attrs["hidden"] = "true"
+    element = ET.Element("table", attrs)
+    if table.alias:
+        ET.SubElement(element, "tablealias").text = table.alias
+    for column in table.columns:
+        element.append(_column_element(column))
+    return element
+
+
+def _column_element(column: XuisColumn) -> ET.Element:
+    attrs = {"name": column.name, "colid": column.colid}
+    if column.hidden:
+        attrs["hidden"] = "true"
+    element = ET.Element("column", attrs)
+    if column.alias:
+        ET.SubElement(element, "columnalias").text = column.alias
+    type_el = ET.SubElement(element, "type")
+    ET.SubElement(type_el, column.type.name)
+    if column.type.size is not None:
+        ET.SubElement(type_el, "size").text = str(column.type.size)
+    if column.pk is not None:
+        pk_el = ET.SubElement(element, "pk")
+        for ref in column.pk.refby:
+            ET.SubElement(pk_el, "refby", {"tablecolumn": ref})
+    if column.fk is not None:
+        fk_attrs = {"tablecolumn": column.fk.tablecolumn}
+        if column.fk.substcolumn:
+            fk_attrs["substcolumn"] = column.fk.substcolumn
+        ET.SubElement(element, "fk", fk_attrs)
+    if column.samples:
+        samples_el = ET.SubElement(element, "samples")
+        for sample in column.samples:
+            ET.SubElement(samples_el, "sample").text = sample
+    for operation in column.operations:
+        element.append(_operation_element(operation))
+    if column.upload is not None:
+        element.append(_upload_element(column.upload))
+    return element
+
+
+def _conditions_element(conditions: list[Condition]) -> ET.Element:
+    if_el = ET.Element("if")
+    for condition in conditions:
+        cond_el = ET.SubElement(if_el, "condition", {"colid": condition.colid})
+        op_el = ET.SubElement(cond_el, condition.op)
+        op_el.text = _condition_value_text(condition.value)
+    return if_el
+
+
+def _condition_value_text(value) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def _operation_element(operation: OperationSpec) -> ET.Element:
+    element = ET.Element(
+        "operation",
+        {
+            "name": operation.name,
+            "type": operation.type,
+            "filename": operation.filename,
+            "format": operation.format,
+            "guest.access": _bool(operation.guest_access),
+            "column": _bool(operation.column_wide),
+        },
+    )
+    if operation.conditions:
+        element.append(_conditions_element(operation.conditions))
+    if operation.chain:
+        chain_el = ET.SubElement(element, "chain")
+        for step in operation.chain:
+            ET.SubElement(chain_el, "step", {"name": step})
+    if operation.location is not None:
+        location_el = ET.SubElement(element, "location")
+        if isinstance(operation.location, UrlLocation):
+            ET.SubElement(location_el, "URL").text = operation.location.url
+        elif isinstance(operation.location, DatabaseResultLocation):
+            result_el = ET.SubElement(
+                location_el, "database.result",
+                {"colid": operation.location.colid},
+            )
+            for condition in operation.location.conditions:
+                cond_el = ET.SubElement(
+                    result_el, "condition", {"colid": condition.colid}
+                )
+                op_el = ET.SubElement(cond_el, condition.op)
+                op_el.text = _condition_value_text(condition.value)
+    if operation.params:
+        params_el = ET.SubElement(element, "parameters")
+        for param in operation.params:
+            params_el.append(_param_element(param))
+    if operation.description:
+        ET.SubElement(element, "description").text = operation.description
+    return element
+
+
+def _param_element(param: ParamSpec) -> ET.Element:
+    param_el = ET.Element("param")
+    variable_el = ET.SubElement(param_el, "variable")
+    ET.SubElement(variable_el, "description").text = param.description
+    control = param.control
+    if isinstance(control, SelectControl):
+        attrs = {"name": control.name}
+        if control.size is not None:
+            attrs["size"] = str(control.size)
+        select_el = ET.SubElement(variable_el, "select", attrs)
+        for value, label in control.options:
+            option_el = ET.SubElement(select_el, "option", {"value": value})
+            option_el.text = label
+    elif isinstance(control, RadioControl):
+        for value, label in control.options:
+            input_el = ET.SubElement(
+                variable_el, "input",
+                {"type": "radio", "name": control.name, "value": value},
+            )
+            input_el.text = label
+    elif isinstance(control, InputControl):
+        attrs = {"type": control.input_type, "name": control.name}
+        if control.default:
+            attrs["value"] = control.default
+        ET.SubElement(variable_el, "input", attrs)
+    return param_el
+
+
+def _upload_element(upload: UploadSpec) -> ET.Element:
+    element = ET.Element(
+        "upload",
+        {
+            "type": upload.type,
+            "format": upload.format,
+            "guest.access": _bool(upload.guest_access),
+            "column": _bool(upload.column_wide),
+        },
+    )
+    if upload.conditions:
+        element.append(_conditions_element(upload.conditions))
+    return element

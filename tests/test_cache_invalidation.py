@@ -1,0 +1,93 @@
+"""Tests for unlink-driven operation-cache invalidation."""
+
+import pytest
+
+from repro.turbulence import build_turbulence_archive
+
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    archive = build_turbulence_archive(n_simulations=1, timesteps=2, grid=8)
+    engine = archive.make_engine(str(tmp_path / "sb"))
+    return archive, engine
+
+
+class TestUnlinkInvalidatesCache:
+    def test_unlink_drops_cached_results(self, deployment):
+        archive, engine = deployment
+        rows = archive.result_rows()
+        engine.invoke("FieldStats", COLID, rows[0])
+        engine.invoke("FieldStats", COLID, rows[1])
+        assert len(engine.cache) == 2
+
+        # deleting the row unlinks the first dataset at commit time
+        archive.db.execute(
+            "DELETE FROM RESULT_FILE WHERE FILE_NAME = ? AND SIMULATION_KEY = ?",
+            (rows[0]["RESULT_FILE.FILE_NAME"],
+             rows[0]["RESULT_FILE.SIMULATION_KEY"]),
+        )
+        assert len(engine.cache) == 1  # only the deleted dataset's entry went
+
+    def test_rolled_back_delete_keeps_cache(self, deployment):
+        archive, engine = deployment
+        row = archive.result_rows()[0]
+        engine.invoke("FieldStats", COLID, row)
+        assert len(engine.cache) == 1
+        archive.db.execute("BEGIN")
+        archive.db.execute(
+            "DELETE FROM RESULT_FILE WHERE FILE_NAME = ? AND SIMULATION_KEY = ?",
+            (row["RESULT_FILE.FILE_NAME"], row["RESULT_FILE.SIMULATION_KEY"]),
+        )
+        archive.db.execute("ROLLBACK")
+        # unlink never applied, so the cache entry survives
+        assert len(engine.cache) == 1
+        assert engine.invoke("FieldStats", COLID, row).cached
+
+    def test_relinked_dataset_recomputes(self, deployment):
+        """After unlink + re-put + re-link, the next invocation must see
+        the *new* content, not a stale cached result."""
+        import json
+
+        archive, engine = deployment
+        row = archive.result_rows()[0]
+        first = engine.invoke("FieldStats", COLID, row)
+        original_grid = json.loads(first.outputs["stats.json"])["grid"]
+        assert original_grid == [8, 8, 8]
+
+        value = row[COLID]
+        server = archive.linker.server(value.host)
+        archive.db.execute(
+            "DELETE FROM RESULT_FILE WHERE FILE_NAME = ? AND SIMULATION_KEY = ?",
+            (row["RESULT_FILE.FILE_NAME"], row["RESULT_FILE.SIMULATION_KEY"]),
+        )
+        # replace the (now unlinked) file with a smaller snapshot
+        from repro.turbulence import make_timestep_file
+
+        replacement = make_timestep_file(4, seed=1, timestep=0)
+        server.filesystem.delete(value.server_path)
+        server.put(value.server_path, replacement)
+        archive.db.execute(
+            "INSERT INTO RESULT_FILE VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (row["RESULT_FILE.FILE_NAME"],
+             row["RESULT_FILE.SIMULATION_KEY"], 0, "u,v,w,p", "TURB",
+             len(replacement), value.url),
+        )
+        fresh = engine.invoke("FieldStats", COLID, row)
+        assert not fresh.cached
+        assert json.loads(fresh.outputs["stats.json"])["grid"] == [4, 4, 4]
+
+    def test_invalidate_file_unit(self):
+        from repro.operations import OperationCache
+
+        class FakeResult:
+            outputs = {"o": b"x"}
+            stdout = ""
+            dataset_bytes = 1
+
+        cache = OperationCache()
+        cache.put(cache.key("Op", "http://h/a/f.bin", {}), FakeResult())
+        cache.put(cache.key("Op", "http://h/a/g.bin", {}), FakeResult())
+        assert cache.invalidate_file("h", "/a/f.bin") == 1
+        assert len(cache) == 1

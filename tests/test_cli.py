@@ -1,0 +1,134 @@
+"""Tests for the command-line interface and the XUIS admin endpoint."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliSql:
+    def test_script_execution(self, tmp_path, capsys):
+        rc = main([
+            "sql", str(tmp_path / "db"), "-c",
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, v VARCHAR(5)); "
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b'); "
+            "SELECT * FROM t ORDER BY k;",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok (2 row(s) affected)" in out
+        assert "1\ta" in out
+        assert "(2 row(s))" in out
+
+    def test_durable_across_invocations(self, tmp_path, capsys):
+        d = str(tmp_path / "db")
+        main(["sql", d, "-c", "CREATE TABLE t (k INTEGER PRIMARY KEY);"])
+        main(["sql", d, "-c", "INSERT INTO t VALUES (7);"])
+        capsys.readouterr()
+        rc = main(["sql", d, "-c", "SELECT k FROM t;"])
+        assert rc == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_sql_error_reported(self, tmp_path, capsys):
+        rc = main(["sql", str(tmp_path / "db"), "-c", "SELEC oops"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+
+    def test_null_rendered_empty(self, tmp_path, capsys):
+        rc = main([
+            "sql", str(tmp_path / "db"), "-c",
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, v VARCHAR(5)); "
+            "INSERT INTO t VALUES (1, NULL); SELECT v FROM t;",
+        ])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "" in lines  # the NULL cell prints as an empty string
+
+
+class TestCliXuis:
+    def test_generates_valid_xml(self, tmp_path, capsys):
+        d = str(tmp_path / "db")
+        main(["sql", d, "-c",
+              "CREATE TABLE AUTHOR (k VARCHAR(5) PRIMARY KEY, n VARCHAR(10));"])
+        capsys.readouterr()
+        rc = main(["xuis", d, "--title", "CLI Archive"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert '<xuis title="CLI Archive">' in out
+        from repro.xuis import parse_xuis
+
+        assert parse_xuis(out).table("AUTHOR").name == "AUTHOR"
+
+
+class TestCliTable1:
+    def test_exact_reproduction(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for cell in ("45m20s", "4h50m08s", "30m38s", "3h16m02s",
+                     "19m32s", "2h05m03s", "5m51s", "37m23s"):
+            assert cell in out
+
+
+class TestCliDemo:
+    def test_summary(self, capsys):
+        rc = main(["demo", "--simulations", "2", "--timesteps", "1",
+                   "--grid", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "simulations : 2" in out
+        assert "GetImage" in out
+
+
+class TestXuisAdminEndpoint:
+    @pytest.fixture
+    def app(self, tmp_path):
+        from repro import EasiaApp, build_turbulence_archive
+
+        archive = build_turbulence_archive(n_simulations=1, timesteps=1, grid=8)
+        engine = archive.make_engine(str(tmp_path / "sb"))
+        return EasiaApp(
+            archive.db, archive.linker, archive.document, archive.users, engine
+        )
+
+    def test_get_returns_current_xml(self, app):
+        admin = app.login("admin", "hpcadmin")
+        response = app.get("/admin/xuis", session_id=admin)
+        assert response.content_type == "application/xml"
+        assert b"RESULT_FILE" in response.body
+
+    def test_requires_admin(self, app):
+        guest = app.login("guest", "guest")
+        assert app.get("/admin/xuis", session_id=guest).status == 403
+
+    def test_post_hot_swaps_document(self, app):
+        from repro.xuis import Customizer, serialize_xuis
+
+        admin = app.login("admin", "hpcadmin")
+        trimmed = Customizer(app.document).hide_table("CODE_FILE").document
+        response = app.post(
+            "/admin/xuis", session_id=admin,
+            files={"xuis": serialize_xuis(trimmed).encode("utf-8")},
+        )
+        assert response.ok
+        guest = app.login("guest", "guest")
+        home = app.get("/", session_id=guest).text
+        assert "CODE_FILE" not in home
+        # the engine follows the swap too
+        assert not any(
+            t.name == "CODE_FILE"
+            for t in app.engine.document.visible_tables()
+        )
+
+    def test_post_rejects_invalid_document(self, app):
+        admin = app.login("admin", "hpcadmin")
+        bad = b'<xuis><table name="GHOST" primaryKey=""/></xuis>'
+        response = app.post(
+            "/admin/xuis", session_id=admin, files={"xuis": bad}
+        )
+        assert response.status == 400
+        # the active document is unchanged
+        assert app.document.has_table("RESULT_FILE")
+
+    def test_post_without_file(self, app):
+        admin = app.login("admin", "hpcadmin")
+        assert app.post("/admin/xuis", session_id=admin).status == 400

@@ -1,0 +1,110 @@
+"""Tests for the EXPLAIN statement, planner helpers and bench workloads."""
+
+import pytest
+
+from repro.bench import metadata_database, multi_site_network, user_site_network
+from repro.errors import SqlSyntaxError
+from repro.sqldb import Database
+from repro.sqldb.planner import conjuncts, constant_equalities, explain, join_equalities
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    database.execute("CREATE TABLE u (k INTEGER PRIMARY KEY, t_k INTEGER REFERENCES t (k))")
+    for i in range(5):
+        database.execute("INSERT INTO t VALUES (?, ?)", (i, i * 10))
+    return database
+
+
+class TestExplainStatement:
+    def test_point_lookup_plan(self, db):
+        result = db.execute("EXPLAIN SELECT * FROM t WHERE k = 3")
+        assert result.columns == ["PLAN"]
+        assert any("PK_T" in row[0] for row in result.rows)
+
+    def test_seq_scan_plan(self, db):
+        result = db.execute("EXPLAIN SELECT * FROM t WHERE v > 10")
+        assert any("seq scan" in row[0] for row in result.rows)
+
+    def test_join_plan(self, db):
+        result = db.execute(
+            "EXPLAIN SELECT * FROM u JOIN t ON u.t_k = t.k"
+        )
+        assert any("join" in row[0] for row in result.rows)
+
+    def test_explain_composite_key(self, db):
+        db.execute(
+            "CREATE TABLE c (a INTEGER, b INTEGER, PRIMARY KEY (a, b))"
+        )
+        result = db.execute("EXPLAIN SELECT * FROM c WHERE a = 1 AND b = 2")
+        assert any("PK_C" in row[0] for row in result.rows)
+
+    def test_explain_non_select_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("EXPLAIN DELETE FROM t")
+
+    def test_explain_does_not_modify(self, db):
+        db.execute("EXPLAIN SELECT * FROM t")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 5
+
+
+class TestPlannerHelpers:
+    def test_conjuncts_flatten_ands(self):
+        from repro.sqldb.parser import parse_sql
+
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 AND b = 2 AND c > 3")
+        parts = conjuncts(stmt.where)
+        assert len(parts) == 3
+
+    def test_conjuncts_none(self):
+        assert conjuncts(None) == []
+
+    def test_constant_equalities_resolve_params(self):
+        from repro.sqldb.parser import parse_sql
+
+        stmt = parse_sql("SELECT * FROM t WHERE a = ? AND 5 = b AND c > 1")
+        pairs = constant_equalities(conjuncts(stmt.where), ("x",))
+        bindings = {ref.column: value for ref, value in pairs}
+        assert bindings == {"A": "x", "B": 5}
+
+    def test_join_equalities_orientation(self):
+        from repro.sqldb.parser import parse_sql
+
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.y")
+        pairs = join_equalities(stmt.joins[0].on, "B")
+        assert len(pairs) == 1
+        outer, inner = pairs[0]
+        assert outer.key == "A.X" and inner.key == "B.Y"
+
+    def test_explain_renderer(self):
+        assert explain(["one", "two"]) == "1. one\n2. two"
+
+
+class TestBenchWorkloads:
+    def test_metadata_database_rows_and_index(self):
+        db = metadata_database(120)
+        assert db.execute("SELECT COUNT(*) FROM SIMULATION").scalar() == 120
+        plan = db.explain("SELECT * FROM SIMULATION WHERE GRID_SIZE = 128")
+        assert "IX_GRID" in plan
+
+    def test_metadata_database_without_index(self):
+        db = metadata_database(10, with_index=False)
+        plan = db.explain("SELECT * FROM SIMULATION WHERE GRID_SIZE = 128")
+        assert "seq scan" in plan
+
+    def test_user_site_network_matches_paper(self):
+        network = user_site_network()
+        assert network.profile_between(
+            "qmw.london", "southampton"
+        ).rate_at(12.0) == 0.25
+
+    def test_multi_site_network_shape(self):
+        network = multi_site_network(3)
+        assert len(network.hosts(role="file_server")) == 3
+        # default profile covers unlinked pairs
+        profile = network.profile_between(
+            "fs1.site1.ac.uk", "fs2.site2.ac.uk"
+        )
+        assert profile.rate_at(0) == 0.37

@@ -1,0 +1,197 @@
+"""Unit tests for the file-server substrate."""
+
+import pytest
+
+from repro.datalink import TokenManager
+from repro.errors import (
+    FileLockedError,
+    FileNotFoundOnServer,
+    FileServerError,
+    PermissionDeniedError,
+    TokenError,
+)
+from repro.fileserver import FileServer, ServerFileSystem
+
+
+class TestServerFileSystem:
+    def test_write_read(self):
+        fs = ServerFileSystem()
+        fs.write("/data/a.dat", b"abc")
+        assert fs.read("/data/a.dat") == b"abc"
+
+    def test_path_normalisation(self):
+        fs = ServerFileSystem()
+        fs.write("data//a.dat", b"x")
+        assert fs.exists("/data/a.dat")
+
+    def test_directory_path_rejected(self):
+        fs = ServerFileSystem()
+        with pytest.raises(FileServerError):
+            fs.write("/data/dir/", b"x")
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundOnServer):
+            ServerFileSystem().read("/nope")
+
+    def test_overwrite_unlinked(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.write("/a", b"22")
+        assert fs.size("/a") == 2
+
+    def test_delete_and_rename(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.rename("/a", "/b")
+        assert fs.exists("/b") and not fs.exists("/a")
+        fs.delete("/b")
+        assert len(fs) == 0
+
+    def test_rename_collision(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.write("/b", b"2")
+        with pytest.raises(FileServerError):
+            fs.rename("/a", "/b")
+
+    def test_linked_file_cannot_be_deleted(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=True, write_blocked=True, recovery=True)
+        with pytest.raises(FileLockedError):
+            fs.delete("/a")
+
+    def test_linked_file_cannot_be_renamed(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=False, write_blocked=False, recovery=False)
+        with pytest.raises(FileLockedError):
+            fs.rename("/a", "/b")
+
+    def test_linked_write_blocked(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=True, write_blocked=True, recovery=False)
+        with pytest.raises(FileLockedError):
+            fs.write("/a", b"replacement")
+
+    def test_linked_write_fs_permission_allows_in_place_update(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=False, write_blocked=False, recovery=False)
+        fs.write("/a", b"updated")
+        assert fs.read("/a") == b"updated"
+        assert fs.entry("/a").linked  # still linked after update
+
+    def test_double_link_rejected(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=False, write_blocked=False, recovery=False)
+        with pytest.raises(FileLockedError):
+            fs.dl_link("/a", read_db=False, write_blocked=False, recovery=False)
+
+    def test_unlink_restore_keeps_file(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=True, write_blocked=True, recovery=True)
+        fs.dl_unlink("/a", delete=False)
+        entry = fs.entry("/a")
+        assert not entry.linked and not entry.read_db
+        fs.delete("/a")  # now permitted again
+
+    def test_unlink_delete_removes_file(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        fs.dl_link("/a", read_db=False, write_blocked=False, recovery=False)
+        fs.dl_unlink("/a", delete=True)
+        assert not fs.exists("/a")
+
+    def test_unlink_not_linked(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"1")
+        with pytest.raises(FileServerError):
+            fs.dl_unlink("/a", delete=False)
+
+    def test_linked_paths_and_totals(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"12")
+        fs.write("/b", b"345")
+        fs.dl_link("/b", read_db=False, write_blocked=False, recovery=False)
+        assert fs.linked_paths() == ["/b"]
+        assert fs.total_bytes() == 5
+        assert list(fs.paths()) == ["/a", "/b"]
+
+
+class TestFileServer:
+    def make(self, validity=60.0, now=None):
+        state = {"now": 0.0}
+        if now is not None:
+            state["now"] = now
+        tm = TokenManager(secret=b"s", validity_seconds=validity,
+                          time_source=lambda: state["now"])
+        server = FileServer("fs1.example.org", token_manager=tm)
+        server.put("/data/f.dat", b"payload")
+        return server, tm, state
+
+    def test_open_file_served_without_token(self):
+        server, _tm, _ = self.make()
+        assert server.serve("/data/f.dat") == b"payload"
+
+    def test_read_db_requires_token(self):
+        server, _tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        with pytest.raises(PermissionDeniedError):
+            server.serve("/data/f.dat")
+
+    def test_valid_token_grants_access(self):
+        server, tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        token = tm.issue("fs1.example.org/data/f.dat")
+        assert server.serve("/data/f.dat", token=token) == b"payload"
+
+    def test_tokenized_path_form(self):
+        server, tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        token = tm.issue("fs1.example.org/data/f.dat")
+        assert server.serve(f"/data/{token};f.dat") == b"payload"
+
+    def test_token_for_other_file_rejected(self):
+        server, tm, _ = self.make()
+        server.put("/data/other.dat", b"x")
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        token = tm.issue("fs1.example.org/data/other.dat")
+        with pytest.raises(TokenError):
+            server.serve("/data/f.dat", token=token)
+
+    def test_denied_counter(self):
+        server, _tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        with pytest.raises(PermissionDeniedError):
+            server.serve("/data/f.dat")
+        assert server.denied == 1
+
+    def test_bytes_served_accounting(self):
+        server, _tm, _ = self.make()
+        server.serve("/data/f.dat")
+        server.serve("/data/f.dat")
+        assert server.bytes_served == 2 * len(b"payload")
+        assert server.requests == 2
+
+    def test_head_is_free(self):
+        server, _tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        assert server.head("/data/f.dat") == len(b"payload")
+
+    def test_recovery_paths(self):
+        server, _tm, _ = self.make()
+        server.put("/data/r.dat", b"r")
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=True)
+        server.dl_link("/data/r.dat", read_db=False, write_blocked=False, recovery=False)
+        assert server.dl_recovery_paths() == ["/data/f.dat"]
+
+    def test_no_token_manager_installed(self):
+        server = FileServer("lonely")
+        server.put("/f", b"x")
+        server.filesystem.dl_link("/f", read_db=True, write_blocked=True, recovery=False)
+        with pytest.raises(TokenError):
+            server.serve("/f", token="anything.x")

@@ -1,0 +1,69 @@
+"""Tests for INSERT ... SELECT."""
+
+import pytest
+
+from repro.errors import ForeignKeyViolation, SqlSyntaxError, UniqueViolation
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE SRC (k INTEGER PRIMARY KEY, v VARCHAR(5))")
+    database.execute("CREATE TABLE DST (k INTEGER PRIMARY KEY, v VARCHAR(5))")
+    database.execute("INSERT INTO SRC VALUES (1,'a'),(2,'b'),(3,'c')")
+    return database
+
+
+class TestInsertSelect:
+    def test_copies_matching_rows(self, db):
+        result = db.execute("INSERT INTO DST SELECT k, v FROM SRC WHERE k > 1")
+        assert result.rowcount == 2
+        assert db.execute("SELECT * FROM DST ORDER BY k").rows == [
+            (2, "b"), (3, "c"),
+        ]
+
+    def test_with_expressions(self, db):
+        db.execute("INSERT INTO DST SELECT k * 10, UPPER(v) FROM SRC")
+        assert db.execute(
+            "SELECT v FROM DST WHERE k = 20"
+        ).scalar() == "B"
+
+    def test_with_column_list(self, db):
+        db.execute("INSERT INTO DST (v, k) VALUES ('z', 99)")
+        db.execute("INSERT INTO DST (k, v) SELECT k, v FROM SRC WHERE k = 1")
+        assert db.execute("SELECT COUNT(*) FROM DST").scalar() == 2
+
+    def test_with_parameters(self, db):
+        db.execute(
+            "INSERT INTO DST SELECT k, v FROM SRC WHERE k = ?", (2,)
+        )
+        assert db.execute("SELECT v FROM DST").scalar() == "b"
+
+    def test_unique_violation_is_atomic(self, db):
+        db.execute("INSERT INTO DST VALUES (2, 'x')")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO DST SELECT k, v FROM SRC")
+        # nothing from the failed statement persisted
+        assert db.execute("SELECT COUNT(*) FROM DST").scalar() == 1
+
+    def test_fk_enforced(self, db):
+        db.execute(
+            "CREATE TABLE CHILD (k INTEGER PRIMARY KEY, "
+            "p INTEGER REFERENCES DST (k))"
+        )
+        with pytest.raises(ForeignKeyViolation):
+            db.execute("INSERT INTO CHILD SELECT k, k FROM SRC")
+
+    def test_from_view(self, db):
+        db.execute("CREATE VIEW BIG AS SELECT k, v FROM SRC WHERE k >= 2")
+        db.execute("INSERT INTO DST SELECT k, v FROM BIG")
+        assert db.execute("SELECT COUNT(*) FROM DST").scalar() == 2
+
+    def test_self_copy(self, db):
+        db.execute("INSERT INTO SRC SELECT k + 100, v FROM SRC")
+        assert db.execute("SELECT COUNT(*) FROM SRC").scalar() == 6
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("INSERT INTO DST SELECT k FROM SRC")

@@ -1,0 +1,193 @@
+"""Miscellaneous coverage: stats persistence, error hierarchy, rendering
+details, schema/med edge cases."""
+
+import pytest
+
+from repro import errors
+from repro.operations import OperationStats
+from repro.sqldb import Database
+
+
+class TestStatsPersistence:
+    def test_persist_and_load_round_trip(self):
+        db = Database()
+        stats = OperationStats()
+        stats.record("GetImage", 0.5, 1000, 10)
+        stats.record("GetImage", 1.5, 1000, 30)
+        stats.record_cache_hit("GetImage")
+        stats.record("FieldStats", 0.1, 500, 5)
+        assert stats.persist(db) == 2
+
+        loaded = OperationStats.load(db)
+        summary = loaded.summary("GetImage")
+        assert summary.invocations == 2
+        assert summary.cache_hits == 1
+        assert summary.mean_elapsed == 1.0
+        assert summary.min_elapsed == 0.5
+        assert summary.total_output_bytes == 40
+        assert loaded.summary("FieldStats").invocations == 1
+
+    def test_persist_replaces_prior_rows(self):
+        db = Database()
+        stats = OperationStats()
+        stats.record("A", 1, 10, 1)
+        stats.persist(db)
+        stats2 = OperationStats()
+        stats2.record("B", 1, 10, 1)
+        stats2.persist(db)
+        loaded = OperationStats.load(db)
+        assert loaded.summary("A") is None
+        assert loaded.summary("B") is not None
+
+    def test_load_from_empty_database(self):
+        assert OperationStats.load(Database()).summaries() == []
+
+    def test_history_accumulates_across_sessions(self):
+        db = Database()
+        first = OperationStats()
+        first.record("Op", 1.0, 100, 10)
+        first.persist(db)
+        second = OperationStats.load(db)
+        second.record("Op", 3.0, 100, 10)
+        assert second.summary("Op").invocations == 2
+        assert second.summary("Op").mean_elapsed == 2.0
+
+
+class TestErrorHierarchy:
+    def test_everything_is_reproerror(self):
+        leaf_errors = [
+            errors.SqlSyntaxError("x"),
+            errors.CatalogError("x"),
+            errors.TypeMismatchError("x"),
+            errors.NotNullViolation("x"),
+            errors.UniqueViolation("x"),
+            errors.ForeignKeyViolation("x"),
+            errors.CheckViolation("x"),
+            errors.TransactionError("x"),
+            errors.RecoveryError("x"),
+            errors.InvalidDatalinkValue("x"),
+            errors.FileLinkError("x"),
+            errors.TokenError("x"),
+            errors.TokenExpiredError("x"),
+            errors.PermissionDeniedError("x"),
+            errors.UnknownHostError("x"),
+            errors.NoRouteError("x"),
+            errors.FileNotFoundOnServer("x"),
+            errors.FileLockedError("x"),
+            errors.XuisValidationError("x"),
+            errors.XuisParseError("x"),
+            errors.AuthenticationError("x"),
+            errors.AuthorizationError("x"),
+            errors.RoutingError("x"),
+            errors.OperationNotApplicable("x"),
+            errors.SandboxViolation("x"),
+            errors.OperationExecutionError("x"),
+        ]
+        for exc in leaf_errors:
+            assert isinstance(exc, errors.ReproError)
+
+    def test_family_groupings(self):
+        assert isinstance(errors.UniqueViolation("x"), errors.ConstraintViolation)
+        assert isinstance(errors.ForeignKeyViolation("x"), errors.ConstraintViolation)
+        assert isinstance(errors.TokenExpiredError("x"), errors.TokenError)
+        assert isinstance(errors.SandboxViolation("x"), errors.OperationError)
+        assert isinstance(errors.SqlSyntaxError("x"), errors.DatabaseError)
+
+    def test_syntax_error_position(self):
+        exc = errors.SqlSyntaxError("bad", position=17)
+        assert exc.position == 17
+
+
+class TestRenderingDetails:
+    @pytest.fixture
+    def setup(self):
+        from repro.sqldb.types import Blob
+        from repro.xuis import generate_default_xuis
+
+        db = Database()
+        db.execute(
+            "CREATE TABLE G (k VARCHAR(5) PRIMARY KEY, pic BLOB, note CLOB)"
+        )
+        db.execute(
+            "INSERT INTO G VALUES (?, ?, ?)",
+            ("g1", Blob(b"\x00" * 10, "image/png"), "a note about g1"),
+        )
+        return db, generate_default_xuis(db)
+
+    def test_blob_cell_is_size_link(self, setup):
+        db, doc = setup
+        from repro.web.render import render_result_table
+
+        result = db.execute("SELECT * FROM G")
+        html = render_result_table(db, doc, "G", result)
+        assert "10 bytes" in html
+        assert 'class="lob"' in html
+        assert "key_K=g1" in html
+
+    def test_clob_cell_is_chars_link(self, setup):
+        db, doc = setup
+        from repro.web.render import render_result_table
+
+        result = db.execute("SELECT * FROM G")
+        html = render_result_table(db, doc, "G", result)
+        assert "15 chars" in html
+
+    def test_html_escaping_in_cells(self, setup):
+        db, doc = setup
+        from repro.web.render import render_result_table
+
+        db.execute("INSERT INTO G VALUES ('<b>', NULL, NULL)")
+        result = db.execute("SELECT k FROM G WHERE k = '<b>'")
+        html = render_result_table(db, doc, "G", result)
+        assert "<b>" not in html.replace("<body>", "").replace("<br>", "")
+        assert "&lt;b&gt;" in html
+
+
+class TestMedEdgeCases:
+    def test_char_datalink_interplay(self):
+        db = Database()
+        db.execute("CREATE TABLE t (c CHAR(4) PRIMARY KEY, d DATALINK)")
+        db.execute("INSERT INTO t VALUES ('ab', 'http://h/f.bin')")
+        assert db.execute(
+            "SELECT DLURLSERVER(d) FROM t WHERE c = 'ab'"
+        ).scalar() == "h"
+
+    def test_datalink_in_order_by(self):
+        db = Database()
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, d DATALINK)")
+        db.execute("INSERT INTO t VALUES (1, 'http://b/f'), (2, 'http://a/f')")
+        rows = db.execute("SELECT k FROM t ORDER BY DLURLSERVER(d)").rows
+        assert rows == [(2,), (1,)]
+
+    def test_datalink_group_by_server(self):
+        db = Database()
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, d DATALINK)")
+        db.execute(
+            "INSERT INTO t VALUES (1, 'http://a/f1'), (2, 'http://a/f2'), "
+            "(3, 'http://b/f3')"
+        )
+        rows = dict(db.execute(
+            "SELECT DLURLSERVER(d) AS srv, COUNT(*) FROM t GROUP BY srv"
+        ).rows)
+        assert rows == {"a": 2, "b": 1}
+
+    def test_datalink_unique_constraint_uses_url(self):
+        from repro.errors import UniqueViolation
+
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, d DATALINK, UNIQUE (d))"
+        )
+        db.execute("INSERT INTO t VALUES (1, 'http://h/f.bin')")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO t VALUES (2, 'http://h/f.bin')")
+
+
+class TestLoginForm:
+    def test_render_contains_fields(self):
+        from repro.web.forms import render_login_form
+
+        html = render_login_form("try again")
+        assert 'name="username"' in html
+        assert 'type="password"' in html
+        assert "try again" in html

@@ -1,0 +1,290 @@
+"""Unit tests for the network simulator (clock, bandwidth, transfers)."""
+
+import pytest
+
+from repro.errors import NetworkError, NoRouteError, UnknownHostError
+from repro.netsim import (
+    MBYTE,
+    PAPER_RATES,
+    BandwidthProfile,
+    Host,
+    Link,
+    Network,
+    SimClock,
+    TransferEngine,
+    format_duration,
+    paper_profile,
+    transfer_seconds,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_start_hour_positions_day(self):
+        assert SimClock(start_hour=9.0).hour_of_day == 9.0
+
+    def test_advance(self):
+        clock = SimClock(start_hour=9.0)
+        clock.advance(3600)
+        assert clock.hour_of_day == 10.0
+
+    def test_wraps_midnight(self):
+        clock = SimClock(start_hour=23.0)
+        clock.advance(2 * 3600)
+        assert clock.hour_of_day == 1.0
+
+    def test_seconds_until_hour(self):
+        clock = SimClock(start_hour=9.0)
+        assert clock.seconds_until_hour(18.0) == 9 * 3600
+        assert clock.seconds_until_hour(8.0) == 23 * 3600
+
+    def test_seconds_until_same_hour_is_full_day(self):
+        clock = SimClock(start_hour=9.0)
+        assert clock.seconds_until_hour(9.0) == 24 * 3600
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock().advance(-1)
+
+    def test_bad_start_hour(self):
+        with pytest.raises(NetworkError):
+            SimClock(start_hour=24.0)
+
+    def test_at_copies(self):
+        clock = SimClock(start_hour=6.0)
+        probe = clock.at(3600.0)
+        assert probe.hour_of_day == 7.0
+        assert clock.now == 0.0
+
+
+class TestBandwidthProfile:
+    def test_constant(self):
+        profile = BandwidthProfile.constant(2.0)
+        assert profile.rate_at(3.0) == 2.0
+        assert profile.is_constant()
+
+    def test_piecewise_rates(self):
+        profile = BandwidthProfile([(0.0, 1.0), (8.0, 0.5), (18.0, 1.5)])
+        assert profile.rate_at(2) == 1.0
+        assert profile.rate_at(8) == 0.5
+        assert profile.rate_at(17.99) == 0.5
+        assert profile.rate_at(18) == 1.5
+        assert profile.rate_at(23.5) == 1.5
+
+    def test_rate_wraps_from_previous_day(self):
+        profile = BandwidthProfile([(0.0, 1.0), (8.0, 0.5)])
+        assert profile.rate_at(25.0) == 1.0  # 1am next day
+
+    def test_next_boundary(self):
+        profile = BandwidthProfile([(0.0, 1.0), (8.0, 0.5), (18.0, 1.5)])
+        assert profile.next_boundary(7.0) == 1.0
+        assert profile.next_boundary(10.0) == 8.0
+        assert profile.next_boundary(20.0) == 4.0  # wraps to hour 0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(NetworkError):
+            BandwidthProfile([(8.0, 1.0)])
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(NetworkError):
+            BandwidthProfile([(0.0, 0.0)])
+
+    def test_rejects_duplicate_hours(self):
+        with pytest.raises(NetworkError):
+            BandwidthProfile([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_paper_profile_rates(self):
+        to_soton = paper_profile("to_southampton")
+        assert to_soton.rate_at(12.0) == 0.25
+        assert to_soton.rate_at(20.0) == 0.58
+        from_soton = paper_profile("from_southampton")
+        assert from_soton.rate_at(12.0) == 0.37
+        assert from_soton.rate_at(20.0) == 1.94
+
+    def test_paper_profile_unknown_direction(self):
+        with pytest.raises(NetworkError):
+            paper_profile("sideways")
+
+
+class TestTransferArithmetic:
+    def test_basic_formula(self):
+        # 85 MB at 0.25 Mbit/s = 2720 s, the paper's day-rate upload
+        assert transfer_seconds(85 * MBYTE, 0.25) == 2720.0
+
+    def test_zero_bytes(self):
+        assert transfer_seconds(0, 1.0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(NetworkError):
+            transfer_seconds(-1, 1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(NetworkError):
+            transfer_seconds(1, 0)
+
+    @pytest.mark.parametrize(
+        "seconds,text",
+        [
+            (2720, "45m20s"),
+            (17408, "4h50m08s"),
+            (350.5, "5m51s"),     # the paper's half-up rounding
+            (0, "0m00s"),
+            (59.4, "0m59s"),
+            (3600, "1h00m00s"),
+        ],
+    )
+    def test_format_duration(self, seconds, text):
+        assert format_duration(seconds) == text
+
+
+class TestNetwork:
+    def make(self):
+        net = Network()
+        net.add_host(Host("a", role="db_server"))
+        net.add_host(Host("b", role="file_server"))
+        net.add_link(Link("a", "b", BandwidthProfile.constant(1.0)))
+        return net
+
+    def test_duplicate_host_rejected(self):
+        net = self.make()
+        with pytest.raises(NetworkError):
+            net.add_host(Host("a"))
+
+    def test_unknown_host(self):
+        with pytest.raises(UnknownHostError):
+            self.make().host("zz")
+
+    def test_link_requires_known_hosts(self):
+        net = self.make()
+        with pytest.raises(UnknownHostError):
+            net.add_link(Link("a", "zz", BandwidthProfile.constant(1.0)))
+
+    def test_profile_between(self):
+        net = self.make()
+        assert net.profile_between("a", "b").rate_at(0) == 1.0
+
+    def test_directional_profiles(self):
+        net = Network()
+        net.add_host(Host("x"))
+        net.add_host(Host("y"))
+        net.add_link(Link(
+            "x", "y",
+            profile_ab=BandwidthProfile.constant(1.0),
+            profile_ba=BandwidthProfile.constant(2.0),
+        ))
+        assert net.profile_between("x", "y").rate_at(0) == 1.0
+        assert net.profile_between("y", "x").rate_at(0) == 2.0
+
+    def test_no_route(self):
+        net = self.make()
+        net.add_host(Host("c"))
+        with pytest.raises(NoRouteError):
+            net.profile_between("a", "c")
+
+    def test_default_profile_fallback(self):
+        net = self.make()
+        net.add_host(Host("c"))
+        net.set_default_profile(BandwidthProfile.constant(0.5))
+        assert net.profile_between("a", "c").rate_at(0) == 0.5
+
+    def test_local_is_local(self):
+        net = self.make()
+        assert net.is_local("a", "a")
+        with pytest.raises(NoRouteError):
+            net.profile_between("a", "a")
+
+    def test_hosts_by_role(self):
+        net = self.make()
+        assert [h.name for h in net.hosts(role="file_server")] == ["b"]
+
+    def test_bad_role(self):
+        with pytest.raises(NetworkError):
+            Host("x", role="mainframe")
+
+    def test_paper_topology(self):
+        net = Network.paper_topology()
+        assert net.has_host("southampton")
+        assert net.has_host("qmw.london")
+        # Day rate towards Southampton is the paper's 0.25 Mbit/s
+        profile = net.profile_between("qmw.london", "southampton")
+        assert profile.rate_at(12.0) == PAPER_RATES[("day", "to_southampton")]
+
+
+class TestTransferEngine:
+    def engine(self, start_hour=12.0):
+        net = Network.paper_topology()
+        return TransferEngine(net, SimClock(start_hour=start_hour))
+
+    def test_constant_segment_duration(self):
+        engine = self.engine(start_hour=12.0)
+        seconds = engine.duration("qmw.london", "southampton", 85 * MBYTE)
+        assert seconds == pytest.approx(2720.0)
+
+    def test_local_transfer_is_free(self):
+        engine = self.engine()
+        record = engine.transfer("southampton", "southampton", 10 * MBYTE)
+        assert record.seconds == 0.0
+        assert record.wide_area_bytes == 0
+
+    def test_transfer_advances_clock(self):
+        engine = self.engine(start_hour=12.0)
+        engine.transfer("qmw.london", "southampton", 85 * MBYTE)
+        assert engine.clock.now == pytest.approx(2720.0)
+
+    def test_piecewise_crossing_speeds_up(self):
+        # Start 30 min before the evening boundary: the bulk of a big
+        # transfer runs at the faster evening rate.
+        slow_all_day = transfer_seconds(544 * MBYTE, 0.25)
+        engine = self.engine(start_hour=17.5)
+        crossing = engine.duration("qmw.london", "southampton", 544 * MBYTE)
+        assert crossing < slow_all_day
+        # First 1800 s at 0.25 Mbit/s, remainder at 0.58 Mbit/s.
+        moved = 0.25e6 / 8 * 1800
+        expected = 1800 + transfer_seconds(544 * MBYTE - moved, 0.58)
+        assert crossing == pytest.approx(expected)
+
+    def test_accounting(self):
+        engine = self.engine()
+        engine.transfer("qmw.london", "southampton", 10 * MBYTE)
+        engine.transfer("southampton", "southampton", 99 * MBYTE)
+        assert engine.total_wan_bytes() == 10 * MBYTE
+        assert len(engine.records) == 2
+        engine.reset_accounting()
+        assert engine.records == []
+
+    def test_latency_added(self):
+        net = Network()
+        net.add_host(Host("x"))
+        net.add_host(Host("y"))
+        net.add_link(Link("x", "y", BandwidthProfile.constant(8.0), latency_s=2.0))
+        engine = TransferEngine(net)
+        assert engine.duration("x", "y", MBYTE) == pytest.approx(3.0)
+
+
+class TestTable1Reproduction:
+    """The paper's Table 1, regenerated cell by cell."""
+
+    PAPER_TABLE = [
+        ("day", "to_southampton", "45m20s", "4h50m08s"),
+        ("day", "from_southampton", "30m38s", "3h16m02s"),
+        ("evening", "to_southampton", "19m32s", "2h05m03s"),
+        ("evening", "from_southampton", "5m51s", "37m23s"),
+    ]
+
+    @pytest.mark.parametrize("period,direction,small,large", PAPER_TABLE)
+    def test_cells_match_exactly(self, period, direction, small, large):
+        rate = PAPER_RATES[(period, direction)]
+        assert format_duration(transfer_seconds(85 * MBYTE, rate)) == small
+        assert format_duration(transfer_seconds(544 * MBYTE, rate)) == large
+
+    def test_via_engine_topology(self):
+        """The same numbers must emerge from the full topology machinery."""
+        engine = TransferEngine(
+            Network.paper_topology(), SimClock(start_hour=10.0)
+        )
+        seconds = engine.duration("qmw.london", "southampton", 85 * MBYTE)
+        assert format_duration(seconds) == "45m20s"
+        seconds = engine.duration("southampton", "qmw.london", 544 * MBYTE)
+        assert format_duration(seconds) == "3h16m02s"

@@ -1,0 +1,149 @@
+"""Tests for the fair-share concurrent transfer scheduler."""
+
+import pytest
+
+from repro.errors import NetworkError, NoRouteError
+from repro.netsim import (
+    MBYTE,
+    BandwidthProfile,
+    ConcurrentScheduler,
+    Flow,
+    Host,
+    Link,
+    Network,
+    SimClock,
+    transfer_seconds,
+)
+
+
+def star_network(n_leaves: int, rate: float = 8.0) -> Network:
+    """A hub with ``n_leaves`` leaf hosts, each on its own link."""
+    net = Network()
+    net.add_host(Host("hub"))
+    for i in range(n_leaves):
+        leaf = f"leaf{i}"
+        net.add_host(Host(leaf))
+        net.add_link(Link("hub", leaf, BandwidthProfile.constant(rate)))
+    return net
+
+
+class TestFlow:
+    def test_negative_size_rejected(self):
+        with pytest.raises(NetworkError):
+            Flow("a", "b", -1)
+
+    def test_elapsed_requires_completion(self):
+        with pytest.raises(NetworkError):
+            Flow("a", "b", 1).elapsed
+
+
+class TestConcurrentScheduler:
+    def test_single_flow_matches_closed_form(self):
+        net = star_network(1)
+        scheduler = ConcurrentScheduler(net, SimClock())
+        flow = Flow("hub", "leaf0", 10 * MBYTE)
+        makespan = scheduler.run([flow])
+        assert makespan == pytest.approx(transfer_seconds(10 * MBYTE, 8.0))
+        assert flow.done
+
+    def test_contention_at_shared_host(self):
+        """K flows out of one hub each get 1/K of its capacity: the
+        makespan is K times the solo time."""
+        net = star_network(4)
+        solo = transfer_seconds(10 * MBYTE, 8.0)
+        scheduler = ConcurrentScheduler(net, SimClock())
+        flows = [Flow("hub", f"leaf{i}", 10 * MBYTE) for i in range(4)]
+        makespan = scheduler.run(flows)
+        assert makespan == pytest.approx(4 * solo, rel=1e-6)
+
+    def test_distributed_sources_run_in_parallel(self):
+        """The same demand from distinct servers finishes in solo time —
+        the paper's bottleneck argument."""
+        net = Network()
+        for i in range(4):
+            net.add_host(Host(f"server{i}"))
+            net.add_host(Host(f"user{i}"))
+            net.add_link(Link(f"server{i}", f"user{i}", BandwidthProfile.constant(8.0)))
+        scheduler = ConcurrentScheduler(net, SimClock())
+        flows = [Flow(f"server{i}", f"user{i}", 10 * MBYTE) for i in range(4)]
+        makespan = scheduler.run(flows)
+        assert makespan == pytest.approx(transfer_seconds(10 * MBYTE, 8.0))
+
+    def test_shorter_flow_finishes_first_and_releases_share(self):
+        net = star_network(2)
+        scheduler = ConcurrentScheduler(net, SimClock())
+        short = Flow("hub", "leaf0", 1 * MBYTE)
+        long = Flow("hub", "leaf1", 10 * MBYTE)
+        scheduler.run([short, long])
+        assert short.finish_time < long.finish_time
+        # Phase 1: both share (rate 4); short needs 2 s of its 1 MB.
+        assert short.elapsed == pytest.approx(transfer_seconds(MBYTE, 4.0))
+        # Long: shares for phase 1, then full rate for the rest.
+        phase1 = short.elapsed
+        moved = 4e6 / 8 * phase1
+        rest = transfer_seconds(10 * MBYTE - moved, 8.0)
+        assert long.elapsed == pytest.approx(phase1 + rest)
+
+    def test_local_flows_complete_instantly(self):
+        net = star_network(1)
+        scheduler = ConcurrentScheduler(net, SimClock())
+        local = Flow("hub", "hub", 100 * MBYTE)
+        makespan = scheduler.run([local])
+        assert makespan == 0.0
+        assert local.elapsed == 0.0
+
+    def test_zero_byte_flow(self):
+        net = star_network(1)
+        scheduler = ConcurrentScheduler(net, SimClock())
+        assert scheduler.run([Flow("hub", "leaf0", 0)]) == 0.0
+
+    def test_no_route_raises_before_running(self):
+        net = star_network(1)
+        net.add_host(Host("island"))
+        scheduler = ConcurrentScheduler(net, SimClock())
+        with pytest.raises(NoRouteError):
+            scheduler.run([Flow("hub", "island", 1)])
+
+    def test_profile_boundary_respected(self):
+        """A flow crossing the day/evening boundary speeds up mid-flight."""
+        profile = BandwidthProfile([(0.0, 8.0), (12.0, 16.0)])
+        net = Network()
+        net.add_host(Host("a"))
+        net.add_host(Host("b"))
+        net.add_link(Link("a", "b", profile))
+        # Start 10 s before the boundary at hour 12.
+        clock = SimClock(start_hour=11.0)
+        clock.advance(3590.0)
+        scheduler = ConcurrentScheduler(net, clock)
+        flow = Flow("a", "b", 20 * MBYTE)  # 20 s at 8 Mb/s
+        makespan = scheduler.run([flow])
+        moved = 8e6 / 8 * 10  # first 10 s at 8 Mb/s
+        rest = transfer_seconds(20 * MBYTE - moved, 16.0)
+        assert makespan == pytest.approx(10 + rest)
+
+    def test_clock_advances_to_completion(self):
+        net = star_network(1)
+        clock = SimClock()
+        scheduler = ConcurrentScheduler(net, clock)
+        makespan = scheduler.run([Flow("hub", "leaf0", 10 * MBYTE)])
+        assert clock.now == pytest.approx(makespan)
+
+    def test_paper_bottleneck_scenario(self):
+        """8 concurrent 85 MB downloads: single site vs 8 servers — the
+        computed 8x contention factor behind bench F3b."""
+        rate = 1.94
+        central = star_network(8, rate=rate)
+        scheduler = ConcurrentScheduler(central, SimClock())
+        flows = [Flow("hub", f"leaf{i}", 85 * MBYTE) for i in range(8)]
+        central_makespan = scheduler.run(flows)
+
+        spread = Network()
+        for i in range(8):
+            spread.add_host(Host(f"s{i}"))
+            spread.add_host(Host(f"u{i}"))
+            spread.add_link(Link(f"s{i}", f"u{i}", BandwidthProfile.constant(rate)))
+        scheduler = ConcurrentScheduler(spread, SimClock())
+        spread_makespan = scheduler.run(
+            [Flow(f"s{i}", f"u{i}", 85 * MBYTE) for i in range(8)]
+        )
+        assert central_makespan == pytest.approx(8 * spread_makespan, rel=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for XUIS-declared operation chains (extended DTD, paper future work)."""
+
+import json
+
+import pytest
+
+from repro.errors import AuthorizationError, XuisError
+from repro.turbulence import build_turbulence_archive
+from repro.xuis import (
+    Customizer,
+    OperationSpec,
+    parse_xuis,
+    serialize_xuis,
+    validate_xuis,
+)
+
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+@pytest.fixture(scope="module")
+def archive():
+    base = build_turbulence_archive(n_simulations=1, timesteps=1, grid=12)
+    chain = OperationSpec(
+        "ReduceThenStats",
+        guest_access=False,
+        conditions=list(
+            base.document.column(COLID).operations[0].conditions
+        ),
+        chain=["Subsample", "FieldStats"],
+        description="Subsample the dataset, then compute field statistics",
+    )
+    base.document = Customizer(base.document).attach_operation(
+        COLID, chain
+    ).document
+    return base
+
+
+class TestChainMarkup:
+    def test_round_trip(self, archive):
+        text = serialize_xuis(archive.document)
+        assert '<chain>' in text
+        assert '<step name="Subsample" />' in text
+        again = parse_xuis(text)
+        ops = {op.name: op for op in again.column(COLID).operations}
+        assert ops["ReduceThenStats"].chain == ["Subsample", "FieldStats"]
+        assert ops["ReduceThenStats"].is_chain
+
+    def test_valid_document(self, archive):
+        assert validate_xuis(archive.document, archive.db) == []
+
+    def test_unknown_step_rejected(self, archive):
+        doc = Customizer(archive.document).attach_operation(
+            COLID,
+            OperationSpec("BadChain", chain=["NoSuchStep"]),
+        ).document
+        problems = validate_xuis(doc)
+        assert any("NoSuchStep" in p for p in problems)
+
+    def test_self_reference_rejected(self, archive):
+        doc = Customizer(archive.document).attach_operation(
+            COLID,
+            OperationSpec("Loop", chain=["Loop"]),
+        ).document
+        problems = validate_xuis(doc)
+        assert any("references itself" in p for p in problems)
+
+    def test_chain_with_location_rejected(self, archive):
+        from repro.xuis import UrlLocation
+
+        doc = Customizer(archive.document).attach_operation(
+            COLID,
+            OperationSpec("Both", chain=["FieldStats"],
+                          location=UrlLocation("http://x/y")),
+        ).document
+        problems = validate_xuis(doc)
+        assert any("must not also have" in p for p in problems)
+
+
+class TestChainExecution:
+    def test_chain_runs_end_to_end(self, archive, tmp_path):
+        engine = archive.make_engine(str(tmp_path / "sb"))
+        row = archive.result_rows()[0]
+        user = archive.users.user("turbulence")
+        result = engine.invoke("ReduceThenStats", COLID, row, user=user)
+        stats = json.loads(result.outputs["stats.json"])
+        assert stats["grid"] == [6, 6, 6]  # subsampled from 12^3
+
+    def test_chain_accounts_original_dataset(self, archive, tmp_path):
+        engine = archive.make_engine(str(tmp_path / "sb2"))
+        row = archive.result_rows()[0]
+        user = archive.users.user("turbulence")
+        result = engine.invoke("ReduceThenStats", COLID, row, user=user)
+        assert result.dataset_bytes == row["RESULT_FILE.FILE_SIZE"]
+        assert result.operation.name == "ReduceThenStats"
+
+    def test_guest_blocked_by_restricted_step(self, archive, tmp_path):
+        """The chain includes Subsample, which guests may not run — the
+        whole chain is refused before any step executes."""
+        engine = archive.make_engine(str(tmp_path / "sb3"))
+        row = archive.result_rows()[0]
+        guest = archive.users.user("guest")
+        with pytest.raises(AuthorizationError):
+            engine.invoke("ReduceThenStats", COLID, row, user=guest)

@@ -1,0 +1,132 @@
+"""Fuzz and round-trip properties for the SQL parser."""
+
+import string
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sqldb import Database
+from repro.sqldb.parser import parse_sql, tokenize
+from repro.sqldb.schema import Column, ForeignKey, TableSchema
+from repro.sqldb.types import type_from_name
+
+_SQLISH = st.text(
+    alphabet=string.ascii_letters + string.digits + " '\"(),.*=<>!;%_-+/\n",
+    max_size=80,
+)
+
+_KEYWORD_SOUP = st.lists(
+    st.sampled_from([
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
+        "TABLE", "DATALINK", "PRIMARY", "KEY", "JOIN", "ON", "GROUP", "BY",
+        "ORDER", "LIMIT", "UNION", "CASE", "WHEN", "THEN", "END", "EXISTS",
+        "NOT", "NULL", "LIKE", "IN", "BETWEEN", "AND", "OR", "(", ")", ",",
+        "*", "=", "?", "'x'", "42", "t", "a", "b",
+    ]),
+    max_size=15,
+).map(" ".join)
+
+
+class TestParserRobustness:
+    @given(text=_SQLISH)
+    @settings(max_examples=400)
+    @example("SELECT")
+    @example("CREATE TABLE t (")
+    @example("INSERT INTO t VALUES ('")
+    @example("SELECT * FROM t WHERE")
+    @example("''")
+    def test_arbitrary_text_never_crashes(self, text):
+        """Any input either parses or raises a library error — nothing
+        else (no IndexError, RecursionError on this size, etc.)."""
+        try:
+            parse_sql(text)
+        except ReproError:
+            pass
+
+    @given(text=_KEYWORD_SOUP)
+    @settings(max_examples=400)
+    def test_keyword_soup_never_crashes(self, text):
+        try:
+            parse_sql(text)
+        except ReproError:
+            pass
+
+    @given(text=_SQLISH)
+    @settings(max_examples=200)
+    def test_lexer_never_crashes(self, text):
+        try:
+            tokens = tokenize(text)
+            assert tokens[-1].kind == "EOF"
+        except ReproError:
+            pass
+
+    @given(text=_KEYWORD_SOUP)
+    @settings(max_examples=200)
+    def test_execute_never_crashes_engine(self, text):
+        """Even executing random statements must only raise library errors."""
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(5))")
+        try:
+            db.execute(text)
+        except ReproError:
+            pass
+
+
+_COLUMN_TYPES = st.sampled_from([
+    ("INTEGER", None), ("DOUBLE", None), ("BOOLEAN", None),
+    ("VARCHAR", 17), ("CHAR", 4), ("DATE", None), ("TIMESTAMP", None),
+    ("BLOB", None), ("CLOB", None),
+])
+
+_IDENT = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=8)
+
+
+class TestDdlRoundTrip:
+    @given(
+        table_name=_IDENT,
+        columns=st.dictionaries(_IDENT, _COLUMN_TYPES, min_size=1, max_size=8),
+    )
+    @settings(max_examples=100)
+    def test_schema_ddl_reparses_identically(self, table_name, columns):
+        names = list(columns)
+        schema = TableSchema(
+            table_name,
+            [
+                Column(name, type_from_name(kind, size))
+                for name, (kind, size) in columns.items()
+            ],
+            primary_key=(names[0],),
+        )
+        ddl = schema.ddl()
+        stmt = parse_sql(ddl)
+        assert stmt.name == schema.name
+        assert stmt.primary_key == schema.primary_key
+        assert [c.name for c in stmt.columns] == [c.name for c in schema.columns]
+        for parsed, original in zip(stmt.columns, schema.columns):
+            assert parsed.type == original.type
+            assert parsed.nullable == original.nullable
+
+    def test_turbulence_schema_ddl_round_trip(self):
+        """The real five-table schema's dumped DDL rebuilds an equivalent
+        database (this is what checkpoint recovery relies on)."""
+        from repro.turbulence import create_turbulence_schema
+
+        db = Database()
+        create_turbulence_schema(db)
+        script = db.catalog.ddl_script()
+
+        db2 = Database()
+        db2.execute_script(script)
+        assert db2.table_names() == db.table_names()
+        for name in db.table_names():
+            original = db.catalog.schema(name)
+            rebuilt = db2.catalog.schema(name)
+            assert rebuilt.primary_key == original.primary_key
+            assert [c.ddl() for c in rebuilt.columns] == [
+                c.ddl() for c in original.columns
+            ]
+            assert [fk.ddl() for fk in rebuilt.foreign_keys] == [
+                fk.ddl() for fk in original.foreign_keys
+            ]

@@ -1,0 +1,329 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalink import TokenManager
+from repro.errors import TokenError, TokenExpiredError, UniqueViolation
+from repro.netsim import BandwidthProfile, SimClock, transfer_seconds
+from repro.sqldb import Database
+from repro.sqldb.expressions import Like
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.storage import SortedIndex, Table
+from repro.sqldb.types import DatalinkValue, IntegerType, VarcharType
+
+# identifiers that are safe as SQL string literals and column values
+_TEXT = st.text(
+    alphabet=string.ascii_letters + string.digits + " _-",
+    min_size=0,
+    max_size=20,
+)
+_KEYS = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=8)
+
+
+class TestLikeProperty:
+    @staticmethod
+    def _oracle(value: str, pattern: str) -> bool:
+        """Naive recursive LIKE matcher used as the specification."""
+
+        def match(v: int, p: int) -> bool:
+            if p == len(pattern):
+                return v == len(value)
+            ch = pattern[p]
+            if ch == "%":
+                return any(match(i, p + 1) for i in range(v, len(value) + 1))
+            if v == len(value):
+                return False
+            if ch == "_" or ch == value[v]:
+                return match(v + 1, p + 1)
+            return False
+
+        return match(0, 0)
+
+    @given(
+        value=st.text(alphabet="ab%._x", max_size=8),
+        pattern=st.text(alphabet="ab%._x", max_size=6),
+    )
+    @settings(max_examples=300)
+    def test_matches_oracle(self, value, pattern):
+        compiled = bool(Like.compile_pattern(pattern).match(value))
+        assert compiled == self._oracle(value, pattern)
+
+
+class TestSqlRoundTripProperty:
+    @given(
+        rows=st.dictionaries(
+            _KEYS, st.tuples(_TEXT, st.integers(-10**6, 10**6)),
+            min_size=0, max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_select_returns_all(self, rows):
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (k VARCHAR(10) PRIMARY KEY, s VARCHAR(30), n INTEGER)"
+        )
+        for key, (text, number) in rows.items():
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (key, text, number))
+        result = db.execute("SELECT k, s, n FROM t")
+        assert {(r[0], r[1], r[2]) for r in result.rows} == {
+            (k, s, n) for k, (s, n) in rows.items()
+        }
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(
+        values=st.lists(st.integers(-1000, 1000), min_size=0, max_size=30),
+        low=st.integers(-1000, 1000),
+        high=st.integers(-1000, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_between_filter_matches_python(self, values, low, high):
+        db = Database()
+        db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, n INTEGER)")
+        for i, value in enumerate(values):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, value))
+        result = db.execute(
+            "SELECT n FROM t WHERE n BETWEEN ? AND ? ORDER BY n, i", (low, high)
+        )
+        expected = sorted(v for v in values if low <= v <= high)
+        assert [r[0] for r in result.rows] == expected
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates_match_python(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, n INTEGER)")
+        for i, value in enumerate(values):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, value))
+        row = db.execute(
+            "SELECT COUNT(*), SUM(n), MIN(n), MAX(n), AVG(n) FROM t"
+        ).first()
+        assert row[0] == len(values)
+        assert row[1] == sum(values)
+        assert row[2] == min(values)
+        assert row[3] == max(values)
+        assert row[4] == pytest.approx(sum(values) / len(values))
+
+    @given(values=st.lists(st.integers(-50, 50), min_size=0, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_sorts(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, n INTEGER)")
+        for i, value in enumerate(values):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, value))
+        asc = [r[0] for r in db.execute("SELECT n FROM t ORDER BY n").rows]
+        desc = [r[0] for r in db.execute("SELECT n FROM t ORDER BY n DESC").rows]
+        assert asc == sorted(values)
+        assert desc == sorted(values, reverse=True)
+
+
+class TestTransactionProperty:
+    @given(
+        initial=st.dictionaries(_KEYS, st.integers(0, 100), min_size=1, max_size=10),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete", "update"]), _KEYS,
+                      st.integers(0, 100)),
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rollback_restores_exact_state(self, initial, ops):
+        db = Database()
+        db.execute("CREATE TABLE t (k VARCHAR(10) PRIMARY KEY, n INTEGER)")
+        for key, number in initial.items():
+            db.execute("INSERT INTO t VALUES (?, ?)", (key, number))
+        before = set(db.execute("SELECT k, n FROM t").rows)
+
+        db.execute("BEGIN")
+        for kind, key, number in ops:
+            try:
+                if kind == "insert":
+                    db.execute("INSERT INTO t VALUES (?, ?)", (key + "X", number))
+                elif kind == "delete":
+                    db.execute("DELETE FROM t WHERE k = ?", (key,))
+                else:
+                    db.execute("UPDATE t SET n = ? WHERE k = ?", (number, key))
+            except UniqueViolation:
+                pass  # statement-level rollback keeps the txn consistent
+        db.execute("ROLLBACK")
+        after = set(db.execute("SELECT k, n FROM t").rows)
+        assert after == before
+
+
+class TestIndexProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 20)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_sorted_index_matches_naive_set(self, ops):
+        index = SortedIndex("ix", ["N"])
+        naive: set[tuple[int, int]] = set()
+        for kind, key in ops:
+            rowid = key * 7 + 1
+            if kind == "add" and (key, rowid) not in naive:
+                index.add((key,), rowid)
+                naive.add((key, rowid))
+            elif kind == "remove" and (key, rowid) in naive:
+                index.remove((key,), rowid)
+                naive.discard((key, rowid))
+        for probe in range(0, 21, 5):
+            assert index.find((probe,)) == {
+                r for k, r in naive if k == probe
+            }
+        lo, hi = 3, 15
+        assert sorted(index.range_scan((lo,), (hi,))) == sorted(
+            r for k, r in naive if lo <= k <= hi
+        )
+
+    @given(
+        rows=st.lists(
+            st.tuples(_KEYS, st.integers(0, 50)), min_size=0, max_size=30
+        )
+    )
+    @settings(max_examples=80)
+    def test_table_indexes_consistent_with_heap(self, rows):
+        schema = TableSchema(
+            "T",
+            [Column("K", VarcharType(10)), Column("N", IntegerType())],
+            primary_key=("K",),
+        )
+        table = Table(schema)
+        stored: dict[str, int] = {}
+        for key, number in rows:
+            if key in stored:
+                continue
+            table.insert((key, number))
+            stored[key] = number
+        # every key is findable through the pk index and matches the heap
+        pk_index = table.indexes["PK_T"]
+        for key, number in stored.items():
+            rowids = pk_index.find((key,))
+            assert len(rowids) == 1
+            assert table.row(next(iter(rowids))) == (key, number)
+        assert len(table) == len(stored)
+
+
+class TestTokenProperty:
+    @given(
+        scope=st.text(alphabet=string.ascii_letters + "/._-", min_size=1, max_size=40),
+        validity=st.floats(min_value=0.5, max_value=10_000),
+        elapsed_fraction=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=150)
+    def test_token_valid_iff_within_interval(self, scope, validity, elapsed_fraction):
+        clock = {"now": 1_000_000.0}
+        tm = TokenManager(
+            secret=b"k", validity_seconds=validity,
+            time_source=lambda: clock["now"],
+        )
+        token = tm.issue(scope)
+        clock["now"] += validity * elapsed_fraction
+        if elapsed_fraction <= 0.999:  # clear of the ms-resolution boundary
+            assert tm.validate(scope, token)
+        elif elapsed_fraction >= 1.001:
+            with pytest.raises(TokenExpiredError):
+                tm.validate(scope, token)
+
+    @given(
+        scope=st.text(alphabet=string.ascii_letters + "/", min_size=1, max_size=20),
+        other=st.text(alphabet=string.ascii_letters + "/", min_size=1, max_size=20),
+    )
+    @settings(max_examples=100)
+    def test_token_never_transfers_scopes(self, scope, other):
+        tm = TokenManager(secret=b"k", time_source=lambda: 0.0)
+        token = tm.issue(scope)
+        if other != scope:
+            with pytest.raises(TokenError):
+                tm.validate(other, token)
+        else:
+            assert tm.validate(other, token)
+
+
+class TestDatalinkValueProperty:
+    @given(
+        host=st.text(alphabet=string.ascii_lowercase + ".", min_size=1, max_size=15)
+        .filter(lambda h: not h.startswith(".") and ".." not in h and not h.endswith(".")),
+        directory=st.lists(
+            st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8),
+            min_size=0, max_size=3,
+        ),
+        filename=st.text(
+            alphabet=string.ascii_lowercase + string.digits + "._-",
+            min_size=1, max_size=12,
+        ).filter(lambda f: f not in (".", "..") and ";" not in f),
+        token=st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=10),
+    )
+    @settings(max_examples=150)
+    def test_url_round_trips_through_tokenized_form(self, host, directory, filename, token):
+        path = "/" + "/".join(directory + [filename]) if directory else f"/{filename}"
+        url = f"http://{host}{path}"
+        value = DatalinkValue(url)
+        assert value.url == url
+        tokenized = value.with_token(token)
+        parsed = DatalinkValue.parse_tokenized(tokenized.tokenized_url)
+        assert parsed.url == url
+        assert parsed.token == token
+
+
+class TestNetsimProperty:
+    @given(
+        nbytes=st.integers(min_value=0, max_value=10**10),
+        rate=st.floats(min_value=0.01, max_value=1000),
+    )
+    @settings(max_examples=100)
+    def test_transfer_seconds_formula(self, nbytes, rate):
+        seconds = transfer_seconds(nbytes, rate)
+        assert seconds == pytest.approx(nbytes * 8 / (rate * 1e6))
+        assert seconds >= 0
+
+    @given(
+        day_rate=st.floats(min_value=0.1, max_value=10),
+        evening_rate=st.floats(min_value=0.1, max_value=10),
+        start_hour=st.floats(min_value=0, max_value=23.99),
+        nbytes=st.integers(min_value=1, max_value=10**9),
+    )
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.filter_too_much])
+    def test_piecewise_duration_bounded_by_extremes(
+        self, day_rate, evening_rate, start_hour, nbytes
+    ):
+        """Integrated duration always lies between the all-fast and all-slow
+        closed forms."""
+        from repro.netsim import Host, Link, Network, TransferEngine
+
+        profile = BandwidthProfile(
+            [(0.0, evening_rate), (8.0, day_rate), (18.0, evening_rate)]
+        )
+        network = Network()
+        network.add_host(Host("a"))
+        network.add_host(Host("b"))
+        network.add_link(Link("a", "b", profile))
+        engine = TransferEngine(network, SimClock(start_hour=start_hour))
+        duration = engine.duration("a", "b", nbytes)
+        fast = transfer_seconds(nbytes, max(day_rate, evening_rate))
+        slow = transfer_seconds(nbytes, min(day_rate, evening_rate))
+        assert fast - 1e-6 <= duration <= slow + 1e-6
+
+
+class TestTurbProperty:
+    @given(
+        nx=st.integers(min_value=1, max_value=6),
+        ny=st.integers(min_value=1, max_value=6),
+        nz=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_identity(self, nx, ny, nz, seed):
+        import numpy as np
+
+        from repro.turbulence import decode_snapshot, encode_snapshot, generate_snapshot
+
+        fields = generate_snapshot(nx, ny, nz, seed=seed)
+        again = decode_snapshot(encode_snapshot(fields))
+        for name in ("u", "v", "w", "p"):
+            np.testing.assert_array_equal(again[name], fields[name])

@@ -1,0 +1,148 @@
+"""Additional property-based tests: QBE, UNION, views, bench reporting."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import PaperTable
+from repro.sqldb import Database
+from repro.web.qbe import OPERATORS, QbeQuery, Restriction
+
+_NAMES = st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=6)
+
+
+def _populated_db(values):
+    db = Database()
+    db.execute("CREATE TABLE T (i INTEGER PRIMARY KEY, n INTEGER, s VARCHAR(12))")
+    for i, (n, s) in enumerate(values):
+        db.execute("INSERT INTO T VALUES (?, ?, ?)", (i, n, s))
+    return db
+
+
+class TestQbeProperty:
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.integers(-50, 50),
+                st.text(alphabet="abc%_", min_size=0, max_size=6),
+            ),
+            max_size=25,
+        ),
+        op=st.sampled_from([o for o in OPERATORS if o != "LIKE"]),
+        threshold=st.integers(-50, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_restriction_matches_python(self, values, op, threshold):
+        db = _populated_db(values)
+        query = QbeQuery(
+            "T", fields=["T.N"],
+            restrictions=[Restriction("T.N", op, threshold)],
+        )
+        sql, params = query.to_sql()
+        got = sorted(r[0] for r in db.execute(sql, params).rows)
+        py_op = {
+            "=": lambda a: a == threshold,
+            "<>": lambda a: a != threshold,
+            "<": lambda a: a < threshold,
+            "<=": lambda a: a <= threshold,
+            ">": lambda a: a > threshold,
+            ">=": lambda a: a >= threshold,
+        }[op]
+        expected = sorted(n for n, _s in values if py_op(n))
+        assert got == expected
+
+    @given(
+        values=st.lists(
+            st.tuples(st.integers(0, 5), st.text(alphabet="ab", min_size=1, max_size=4)),
+            max_size=20,
+        ),
+        prefix=st.text(alphabet="ab", min_size=0, max_size=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_wildcard_promotion_equivalent_to_like(self, values, prefix):
+        db = _populated_db(values)
+        query = QbeQuery(
+            "T", fields=["T.S"],
+            restrictions=[Restriction("T.S", "=", prefix + "%")],
+        )
+        sql, params = query.to_sql()
+        assert " LIKE " in sql
+        got = sorted(r[0] for r in db.execute(sql, params).rows)
+        expected = sorted(s for _n, s in values if s.startswith(prefix))
+        assert got == expected
+
+
+class TestUnionProperty:
+    @given(
+        left=st.sets(st.integers(0, 30), max_size=15),
+        right=st.sets(st.integers(0, 30), max_size=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_set_union(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE L (k INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE R (k INTEGER PRIMARY KEY)")
+        for v in left:
+            db.execute("INSERT INTO L VALUES (?)", (v,))
+        for v in right:
+            db.execute("INSERT INTO R VALUES (?)", (v,))
+        rows = db.execute("SELECT k FROM L UNION SELECT k FROM R").rows
+        assert sorted(r[0] for r in rows) == sorted(left | right)
+        all_rows = db.execute("SELECT k FROM L UNION ALL SELECT k FROM R").rows
+        assert len(all_rows) == len(left) + len(right)
+
+
+class TestViewProperty:
+    @given(
+        values=st.lists(st.integers(-100, 100), max_size=25),
+        threshold=st.integers(-100, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_view_equals_inline_query(self, values, threshold):
+        db = Database()
+        db.execute("CREATE TABLE T (i INTEGER PRIMARY KEY, n INTEGER)")
+        for i, v in enumerate(values):
+            db.execute("INSERT INTO T VALUES (?, ?)", (i, v))
+        db.execute(f"CREATE VIEW V AS SELECT n FROM T WHERE n > {threshold}")
+        via_view = sorted(r[0] for r in db.execute("SELECT n FROM V").rows)
+        inline = sorted(
+            r[0] for r in db.execute(
+                "SELECT n FROM T WHERE n > ?", (threshold,)
+            ).rows
+        )
+        assert via_view == inline
+
+
+class TestPaperTableUnit:
+    def test_alignment_and_content(self):
+        table = PaperTable("X1", "A demo", ["col", "value"])
+        table.add_row("short", 1)
+        table.add_row("a much longer cell", 22)
+        text = table.render()
+        assert "=== [X1] A demo ===" in text
+        lines = text.splitlines()
+        header = next(l for l in lines if l.startswith("col"))
+        assert "value" in header
+        assert any("a much longer cell" in l for l in lines)
+
+    def test_wrong_arity_rejected(self):
+        table = PaperTable("X", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    @given(
+        rows=st.lists(
+            st.tuples(_NAMES, st.integers(0, 10**6)), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30)
+    def test_every_cell_appears(self, rows):
+        table = PaperTable("P", "prop", ["name", "number"])
+        for name, number in rows:
+            table.add_row(name, number)
+        text = table.render()
+        for name, number in rows:
+            assert name in text
+            assert str(number) in text

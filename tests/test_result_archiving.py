@@ -1,0 +1,132 @@
+"""Tests for archiving operation outputs back into the archive."""
+
+import pytest
+
+from repro.errors import OperationError, UniqueViolation
+from repro.operations import ResultArchiver
+from repro.turbulence import build_turbulence_archive
+
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return build_turbulence_archive(n_simulations=1, timesteps=1, grid=10)
+
+
+@pytest.fixture
+def engine(archive, tmp_path):
+    return archive.make_engine(str(tmp_path / "sb"))
+
+
+@pytest.fixture
+def archiver(archive):
+    return ResultArchiver(archive.db, archive.linker)
+
+
+class TestResultArchiver:
+    def _run_getimage(self, engine, archive, slice_name="x1"):
+        row = archive.result_rows()[0]
+        result = engine.invoke(
+            "GetImage", COLID, row, {"slice": slice_name, "type": "u"},
+            use_cache=False,
+        )
+        return row, result
+
+    def test_archives_output_as_datalink_row(self, engine, archive, archiver):
+        row, result = self._run_getimage(engine, archive)
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        value = archiver.archive(
+            result, row[COLID], sim, vis_name="slice_u_x1.pgm"
+        )
+        # the row is queryable with a token-bearing datalink
+        stored = archive.db.execute(
+            "SELECT DOWNLOAD_VIS FROM VISUALISATION_FILE "
+            "WHERE VIS_NAME = 'slice_u_x1.pgm'"
+        ).scalar()
+        assert stored.url == value.url
+        assert stored.token is not None
+        # and the bytes are retrievable through the datalink machinery
+        assert archive.linker.download(stored) == result.outputs["slice.pgm"]
+
+    def test_output_stays_on_dataset_server(self, engine, archive, archiver):
+        row, result = self._run_getimage(engine, archive, "x2")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        value = archiver.archive(result, row[COLID], sim, vis_name="x2.pgm")
+        assert value.host == row[COLID].host
+
+    def test_file_is_link_controlled(self, engine, archive, archiver):
+        from repro.errors import FileLockedError
+
+        row, result = self._run_getimage(engine, archive, "x3")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        value = archiver.archive(result, row[COLID], sim, vis_name="x3.pgm")
+        server = archive.linker.server(value.host)
+        with pytest.raises(FileLockedError):
+            server.filesystem.delete(value.server_path)
+
+    def test_small_output_gets_blob_preview(self, engine, archive, archiver):
+        row, result = self._run_getimage(engine, archive, "x4")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        archiver.archive(result, row[COLID], sim, vis_name="x4.pgm")
+        preview = archive.db.execute(
+            "SELECT PREVIEW FROM VISUALISATION_FILE WHERE VIS_NAME = 'x4.pgm'"
+        ).scalar()
+        assert preview is not None
+        assert preview.mime_type == "image/x-portable-graymap"
+        assert preview.data == result.outputs["slice.pgm"]
+
+    def test_duplicate_name_rolls_back_cleanly(self, engine, archive, archiver):
+        """A DB-level failure (duplicate VIS_NAME) must leave neither a
+        dangling link nor a stray staged file on the server."""
+        row, result = self._run_getimage(engine, archive, "x5")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        # occupy the VIS_NAME with an unrelated row (no datalink)
+        archive.db.execute(
+            "INSERT INTO VISUALISATION_FILE VALUES ('dup.pgm', ?, 'PGM', NULL, NULL)",
+            (sim,),
+        )
+        server = archive.linker.server(row[COLID].host)
+        files_before = len(server.filesystem)
+        with pytest.raises(UniqueViolation):
+            archiver.archive(result, row[COLID], sim, vis_name="dup.pgm")
+        assert len(server.filesystem) == files_before
+
+    def test_same_name_twice_blocked_by_link_control(self, engine, archive, archiver):
+        """Re-archiving under an existing name hits the linked file's
+        write protection before any database change."""
+        from repro.errors import FileLockedError
+
+        row, result = self._run_getimage(engine, archive, "x0")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        archiver.archive(result, row[COLID], sim, vis_name="twice.pgm")
+        with pytest.raises(FileLockedError):
+            archiver.archive(result, row[COLID], sim, vis_name="twice.pgm")
+
+    def test_default_vis_name(self, engine, archive, archiver):
+        row, result = self._run_getimage(engine, archive, "x6")
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        value = archiver.archive(result, row[COLID], sim)
+        assert "GetImage" in value.filename
+        assert sim in value.filename
+
+    def test_unknown_output_name(self, engine, archive, archiver):
+        row, result = self._run_getimage(engine, archive, "x7")
+        with pytest.raises(OperationError):
+            archiver.archive(
+                result, row[COLID], row["RESULT_FILE.SIMULATION_KEY"],
+                output_name="nope.bin",
+            )
+
+    def test_archive_all(self, engine, archive, archiver):
+        row = archive.result_rows()[0]
+        result = engine.invoke("FieldStats", COLID, row, use_cache=False)
+        sim = row["RESULT_FILE.SIMULATION_KEY"]
+        values = archiver.archive_all(result, row[COLID], sim)
+        assert len(values) == 1
+        assert values[0].filename.endswith(".json")
+        fmt = archive.db.execute(
+            "SELECT FORMAT FROM VISUALISATION_FILE WHERE VIS_NAME = ?",
+            (values[0].filename,),
+        ).scalar()
+        assert fmt == "JSON"

@@ -1,0 +1,253 @@
+"""Tests for engine extensions: subqueries, SQL/MED scalar functions,
+and the queryable system catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlSyntaxError, TypeMismatchError
+from repro.sqldb import Database, DatalinkValue
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE AUTHOR (k VARCHAR(5) PRIMARY KEY, name VARCHAR(20) NOT NULL)"
+    )
+    database.execute(
+        "CREATE TABLE SIM (k VARCHAR(5) PRIMARY KEY, "
+        "ak VARCHAR(5) REFERENCES AUTHOR (k), grid INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO AUTHOR VALUES ('A1','Mark'),('A2','Jasmin'),('A3','Denis')"
+    )
+    database.execute(
+        "INSERT INTO SIM VALUES ('S1','A1',128),('S2','A2',64),('S3','A1',256)"
+    )
+    return database
+
+
+class TestSubqueries:
+    def test_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE k IN "
+            "(SELECT ak FROM SIM WHERE grid > 100) ORDER BY name"
+        ).rows
+        assert rows == [("Mark",)]
+
+    def test_not_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE k NOT IN (SELECT ak FROM SIM)"
+        ).rows
+        assert rows == [("Denis",)]
+
+    def test_scalar_subquery_in_select_list(self, db):
+        assert db.execute("SELECT (SELECT MAX(grid) FROM SIM)").scalar() == 256
+
+    def test_scalar_subquery_in_where(self, db):
+        rows = db.execute(
+            "SELECT k FROM SIM WHERE grid = (SELECT MAX(grid) FROM SIM)"
+        ).rows
+        assert rows == [("S3",)]
+
+    def test_scalar_subquery_empty_is_null(self, db):
+        assert db.execute(
+            "SELECT (SELECT grid FROM SIM WHERE k = 'NOPE')"
+        ).scalar() is None
+
+    def test_scalar_subquery_multiple_rows_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT (SELECT grid FROM SIM)")
+
+    def test_scalar_subquery_multiple_columns_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT k FROM SIM WHERE grid = (SELECT grid, k FROM SIM)")
+
+    def test_subquery_with_parameters(self, db):
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE k IN "
+            "(SELECT ak FROM SIM WHERE grid > ?)",
+            (200,),
+        ).rows
+        assert rows == [("Mark",)]
+
+    def test_subquery_in_update(self, db):
+        db.execute(
+            "UPDATE SIM SET grid = 1 WHERE grid < (SELECT MAX(grid) FROM SIM)"
+        )
+        rows = db.execute("SELECT grid FROM SIM ORDER BY grid").rows
+        assert rows == [(1,), (1,), (256,)]
+
+    def test_subquery_in_delete(self, db):
+        db.execute(
+            "DELETE FROM SIM WHERE grid < (SELECT AVG(grid) FROM SIM)"
+        )
+        assert db.execute("SELECT COUNT(*) FROM SIM").scalar() == 1
+
+    def test_nested_subqueries(self, db):
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE k IN ("
+            "  SELECT ak FROM SIM WHERE grid = (SELECT MAX(grid) FROM SIM))"
+        ).rows
+        assert rows == [("Mark",)]
+
+    def test_in_subquery_null_semantics(self, db):
+        db.execute("INSERT INTO SIM VALUES ('S4', NULL, 32)")
+        # NOT IN over a set containing NULL filters everything (UNKNOWN)
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE k NOT IN (SELECT ak FROM SIM)"
+        ).rows
+        assert rows == []
+
+    def test_correlated_subquery_rejected_clearly(self, db):
+        with pytest.raises(CatalogError):
+            db.execute(
+                "SELECT name FROM AUTHOR a WHERE 1 = "
+                "(SELECT COUNT(*) FROM SIM WHERE ak = a.k)"
+            )
+
+
+class TestDatalinkScalarFunctions:
+    @pytest.fixture
+    def dldb(self):
+        database = Database()
+        database.execute("CREATE TABLE R (k INTEGER PRIMARY KEY, d DATALINK)")
+        database.execute(
+            "INSERT INTO R VALUES (1, 'http://fs1.soton.ac.uk/data/run/ts1.dat')"
+        )
+        return database
+
+    def test_dlurlserver(self, dldb):
+        assert dldb.execute("SELECT DLURLSERVER(d) FROM R").scalar() == (
+            "fs1.soton.ac.uk"
+        )
+
+    def test_dlurlpath(self, dldb):
+        assert dldb.execute("SELECT DLURLPATH(d) FROM R").scalar() == (
+            "/data/run/ts1.dat"
+        )
+
+    def test_dlurlscheme(self, dldb):
+        assert dldb.execute("SELECT DLURLSCHEME(d) FROM R").scalar() == "HTTP"
+
+    def test_dllinktype(self, dldb):
+        assert dldb.execute("SELECT DLLINKTYPE(d) FROM R").scalar() == "URL"
+
+    def test_dlurlcomplete(self, dldb):
+        assert dldb.execute("SELECT DLURLCOMPLETE(d) FROM R").scalar() == (
+            "http://fs1.soton.ac.uk/data/run/ts1.dat"
+        )
+
+    def test_dlvalue_constructor(self, dldb):
+        value = dldb.execute("SELECT DLVALUE('http://h/x/y.dat')").scalar()
+        assert isinstance(value, DatalinkValue)
+        assert value.filename == "y.dat"
+
+    def test_dlvalue_in_insert(self, dldb):
+        dldb.execute("INSERT INTO R VALUES (2, DLVALUE('http://h/a/b.dat'))")
+        assert dldb.execute(
+            "SELECT DLURLSERVER(d) FROM R WHERE k = 2"
+        ).scalar() == "h"
+
+    def test_functions_null_propagation(self, dldb):
+        dldb.execute("INSERT INTO R VALUES (3, NULL)")
+        assert dldb.execute(
+            "SELECT DLURLPATH(d) FROM R WHERE k = 3"
+        ).scalar() is None
+
+    def test_functions_reject_non_datalink(self, dldb):
+        with pytest.raises(TypeMismatchError):
+            dldb.execute("SELECT DLURLSERVER(42)")
+
+    def test_filter_by_server(self, dldb):
+        dldb.execute("INSERT INTO R VALUES (2, 'http://fs2.other.org/f.dat')")
+        rows = dldb.execute(
+            "SELECT k FROM R WHERE DLURLSERVER(d) = 'fs1.soton.ac.uk'"
+        ).rows
+        assert rows == [(1,)]
+
+
+class TestSystemCatalog:
+    def test_systables(self, db):
+        rows = db.execute(
+            "SELECT TABLE_NAME, COLUMN_COUNT, ROW_COUNT FROM SYSTABLES "
+            "ORDER BY TABLE_NAME"
+        ).rows
+        assert rows == [("AUTHOR", 2, 3), ("SIM", 3, 3)]
+
+    def test_syscolumns(self, db):
+        rows = db.execute(
+            "SELECT COLUMN_NAME, TYPE_NAME, NULLABLE FROM SYSCOLUMNS "
+            "WHERE TABLE_NAME = 'AUTHOR' ORDER BY ORDINAL"
+        ).rows
+        assert rows == [("K", "VARCHAR", False), ("NAME", "VARCHAR", False)]
+
+    def test_syscolumns_datalink_flag(self, db):
+        db.execute("CREATE TABLE R (k INTEGER PRIMARY KEY, d DATALINK)")
+        assert db.execute(
+            "SELECT IS_DATALINK FROM SYSCOLUMNS "
+            "WHERE TABLE_NAME = 'R' AND COLUMN_NAME = 'D'"
+        ).scalar() is True
+
+    def test_sysforeignkeys(self, db):
+        row = db.execute(
+            "SELECT COLUMN_NAME, REF_TABLE, REF_COLUMN FROM SYSFOREIGNKEYS "
+            "WHERE TABLE_NAME = 'SIM'"
+        ).first()
+        assert row == ("AK", "AUTHOR", "K")
+
+    def test_syskeys(self, db):
+        rows = db.execute(
+            "SELECT TABLE_NAME, COLUMN_NAME FROM SYSKEYS "
+            "WHERE CONSTRAINT_TYPE = 'PRIMARY' ORDER BY TABLE_NAME"
+        ).rows
+        assert rows == [("AUTHOR", "K"), ("SIM", "K")]
+
+    def test_sysindexes(self, db):
+        names = {
+            r[0] for r in db.execute(
+                "SELECT INDEX_NAME FROM SYSINDEXES WHERE TABLE_NAME = 'SIM'"
+            ).rows
+        }
+        assert "PK_SIM" in names
+        assert any(n.startswith("IX_SIM") for n in names)
+
+    def test_reflects_live_changes(self, db):
+        before = db.execute(
+            "SELECT ROW_COUNT FROM SYSTABLES WHERE TABLE_NAME = 'AUTHOR'"
+        ).scalar()
+        db.execute("INSERT INTO AUTHOR VALUES ('A4', 'New')")
+        after = db.execute(
+            "SELECT ROW_COUNT FROM SYSTABLES WHERE TABLE_NAME = 'AUTHOR'"
+        ).scalar()
+        assert (before, after) == (3, 4)
+
+    def test_joins_with_user_tables(self, db):
+        # schema-driven tooling: which tables reference AUTHOR?
+        rows = db.execute(
+            "SELECT f.TABLE_NAME FROM SYSFOREIGNKEYS f WHERE f.REF_TABLE = 'AUTHOR'"
+        ).rows
+        assert rows == [("SIM",)]
+
+    def test_read_only(self, db):
+        for sql in (
+            "INSERT INTO SYSTABLES VALUES ('X', 0, 0, '')",
+            "DELETE FROM SYSCOLUMNS",
+            "UPDATE SYSKEYS SET POSITION = 9",
+            "DROP TABLE SYSTABLES",
+            "CREATE INDEX IX_BAD ON SYSTABLES (TABLE_NAME)",
+        ):
+            with pytest.raises(CatalogError):
+                db.execute(sql)
+
+    def test_cannot_shadow_system_name(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE SYSCOLUMNS (x INTEGER)")
+
+    def test_system_tables_not_in_user_listing(self, db):
+        assert db.table_names() == ["AUTHOR", "SIM"]
+
+    def test_not_in_generated_xuis(self, db):
+        from repro.xuis import generate_default_xuis
+
+        doc = generate_default_xuis(db)
+        assert all(not t.name.startswith("SYS") for t in doc.tables)

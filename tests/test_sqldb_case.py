@@ -1,0 +1,130 @@
+"""Tests for CASE expressions and session expiry."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, g INTEGER)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 64), (2, 128), (3, 256), (4, NULL)"
+    )
+    return database
+
+
+class TestCaseExpression:
+    def test_searched_case_branches(self, db):
+        rows = db.execute(
+            "SELECT k, CASE WHEN g >= 256 THEN 'large' "
+            "WHEN g >= 128 THEN 'medium' ELSE 'small' END AS size "
+            "FROM t ORDER BY k"
+        ).rows
+        assert rows == [
+            (1, "small"), (2, "medium"), (3, "large"), (4, "small"),
+        ]
+
+    def test_first_true_branch_wins(self, db):
+        value = db.execute(
+            "SELECT CASE WHEN 1 = 1 THEN 'first' WHEN 1 = 1 THEN 'second' END"
+        ).scalar()
+        assert value == "first"
+
+    def test_no_else_yields_null(self, db):
+        assert db.execute(
+            "SELECT CASE WHEN g > 1000 THEN 1 END FROM t WHERE k = 1"
+        ).scalar() is None
+
+    def test_null_coalescing_idiom(self, db):
+        rows = db.execute(
+            "SELECT CASE WHEN g IS NULL THEN -1 ELSE g END FROM t ORDER BY k"
+        ).rows
+        assert rows == [(64,), (128,), (256,), (-1,)]
+
+    def test_conditional_aggregation(self, db):
+        assert db.execute(
+            "SELECT SUM(CASE WHEN g > 100 THEN 1 ELSE 0 END) FROM t"
+        ).scalar() == 2
+
+    def test_case_in_where(self, db):
+        rows = db.execute(
+            "SELECT k FROM t WHERE CASE WHEN g IS NULL THEN TRUE "
+            "ELSE FALSE END"
+        ).rows
+        assert rows == [(4,)]
+
+    def test_case_in_order_by(self, db):
+        rows = db.execute(
+            "SELECT k FROM t ORDER BY CASE WHEN g IS NULL THEN 0 ELSE g END"
+        ).rows
+        assert rows[0] == (4,)
+
+    def test_nested_case(self, db):
+        value = db.execute(
+            "SELECT CASE WHEN 1 = 1 THEN "
+            "CASE WHEN 2 = 2 THEN 'inner' END ELSE 'outer' END"
+        ).scalar()
+        assert value == "inner"
+
+    def test_case_without_when_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT CASE ELSE 1 END")
+
+    def test_unterminated_case_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT CASE WHEN 1 = 1 THEN 1")
+
+
+class TestSessionExpiry:
+    def _container(self, max_idle):
+        from repro.web.http import ServletContainer
+
+        clock = {"now": 1000.0}
+        container = ServletContainer(
+            session_max_idle=max_idle, time_source=lambda: clock["now"]
+        )
+        return container, clock
+
+    def test_session_survives_within_idle_window(self):
+        container, clock = self._container(60.0)
+        session = container.sessions.create()
+        clock["now"] += 59
+        assert container.sessions.get(session.session_id) is session
+
+    def test_session_expires_after_idle(self):
+        container, clock = self._container(60.0)
+        session = container.sessions.create()
+        clock["now"] += 61
+        assert container.sessions.get(session.session_id) is None
+
+    def test_activity_refreshes_window(self):
+        container, clock = self._container(60.0)
+        session = container.sessions.create()
+        for _ in range(5):
+            clock["now"] += 50
+            assert container.sessions.get(session.session_id) is session
+
+    def test_no_expiry_by_default(self):
+        from repro.web.http import ServletContainer
+
+        container = ServletContainer()
+        session = container.sessions.create()
+        assert container.sessions.get(session.session_id) is session
+
+    def test_expired_session_means_401(self, tmp_path):
+        from repro import EasiaApp, build_turbulence_archive
+
+        clock = {"now": 0.0}
+        archive = build_turbulence_archive(n_simulations=1, timesteps=1, grid=8)
+        engine = archive.make_engine(str(tmp_path / "sb"))
+        app = EasiaApp(
+            archive.db, archive.linker, archive.document, archive.users,
+            engine, session_max_idle=30.0, time_source=lambda: clock["now"],
+        )
+        session = app.login("guest", "guest")
+        assert app.get("/", session_id=session).ok
+        clock["now"] += 31
+        assert app.get("/", session_id=session).status == 401

@@ -1,0 +1,427 @@
+"""Integration tests for the Database facade: DDL, DML, SELECT."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    CheckViolation,
+    ForeignKeyViolation,
+    NotNullViolation,
+    SqlSyntaxError,
+    TransactionError,
+    TypeMismatchError,
+    UniqueViolation,
+)
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE AUTHOR (author_key VARCHAR(30) PRIMARY KEY, "
+        "name VARCHAR(50) NOT NULL, email VARCHAR(60))"
+    )
+    database.execute(
+        "CREATE TABLE SIMULATION ("
+        " simulation_key VARCHAR(30) PRIMARY KEY,"
+        " author_key VARCHAR(30) REFERENCES AUTHOR (author_key),"
+        " title VARCHAR(100) NOT NULL,"
+        " grid_size INTEGER CHECK (grid_size > 0),"
+        " description CLOB)"
+    )
+    database.execute(
+        "INSERT INTO AUTHOR VALUES "
+        "('A1', 'Mark Papiani', 'papiani@computer.org'),"
+        "('A2', 'Jasmin Wason', 'jlw98r@ecs.soton.ac.uk'),"
+        "('A3', 'Denis Nicole', 'dan@ecs.soton.ac.uk')"
+    )
+    database.execute(
+        "INSERT INTO SIMULATION VALUES "
+        "('S1', 'A1', 'Turbulent channel flow', 128, 'channel flow at Re=180'),"
+        "('S2', 'A1', 'Boundary layer', 256, NULL),"
+        "('S3', 'A2', 'Pipe flow', 64, 'low Reynolds pipe')"
+    )
+    return database
+
+
+class TestDdl:
+    def test_create_and_list(self, db):
+        assert db.table_names() == ["AUTHOR", "SIMULATION"]
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE AUTHOR (x INTEGER)")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS AUTHOR (x INTEGER)")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE SIMULATION")
+        assert db.table_names() == ["AUTHOR"]
+
+    def test_drop_referenced_table_blocked(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE AUTHOR")
+
+    def test_drop_if_exists_missing(self, db):
+        db.execute("DROP TABLE IF EXISTS NO_SUCH")
+
+    def test_fk_must_reference_pk_or_unique(self, db):
+        with pytest.raises(CatalogError):
+            db.execute(
+                "CREATE TABLE BAD (x VARCHAR(50) REFERENCES AUTHOR (name))"
+            )
+
+    def test_create_index_and_use(self, db):
+        db.execute("CREATE INDEX IX_GRID ON SIMULATION (grid_size)")
+        plan = db.explain("SELECT * FROM SIMULATION WHERE grid_size = 128")
+        assert "IX_GRID" in plan
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX IX_GRID ON SIMULATION (grid_size)")
+        db.execute("DROP INDEX IX_GRID")
+        plan = db.explain("SELECT * FROM SIMULATION WHERE grid_size = 128")
+        assert "seq scan" in plan
+
+
+class TestInsert:
+    def test_rowcount(self, db):
+        result = db.execute("INSERT INTO AUTHOR VALUES ('A4', 'New', NULL)")
+        assert result.rowcount == 1
+
+    def test_multi_row(self, db):
+        result = db.execute(
+            "INSERT INTO AUTHOR VALUES ('A4','a',NULL), ('A5','b',NULL)"
+        )
+        assert result.rowcount == 2
+
+    def test_column_list_fills_defaults(self, db):
+        db.execute("INSERT INTO AUTHOR (author_key, name) VALUES ('A4', 'X')")
+        row = db.execute(
+            "SELECT email FROM AUTHOR WHERE author_key = 'A4'"
+        ).first()
+        assert row == (None,)
+
+    def test_unknown_column_in_list(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO AUTHOR (author_key, nope) VALUES ('A9', 'x')")
+
+    def test_wrong_arity(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("INSERT INTO AUTHOR VALUES ('A9')")
+
+    def test_not_null_enforced(self, db):
+        with pytest.raises(NotNullViolation):
+            db.execute("INSERT INTO AUTHOR VALUES ('A9', NULL, NULL)")
+
+    def test_pk_duplicate(self, db):
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO AUTHOR VALUES ('A1', 'dup', NULL)")
+
+    def test_type_mismatch(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.execute(
+                "INSERT INTO SIMULATION VALUES ('S9','A1','t', 'not-a-number', NULL)"
+            )
+
+    def test_check_constraint(self, db):
+        with pytest.raises(CheckViolation):
+            db.execute(
+                "INSERT INTO SIMULATION VALUES ('S9','A1','t', -5, NULL)"
+            )
+
+    def test_check_passes_on_null(self, db):
+        # SQL: a CHECK evaluating to UNKNOWN does not fail.
+        db.execute("INSERT INTO SIMULATION VALUES ('S9','A1','t', NULL, NULL)")
+
+    def test_params(self, db):
+        db.execute(
+            "INSERT INTO AUTHOR VALUES (?, ?, ?)", ("A7", "Param Author", None)
+        )
+        assert db.execute(
+            "SELECT name FROM AUTHOR WHERE author_key = ?", ("A7",)
+        ).scalar() == "Param Author"
+
+
+class TestForeignKeys:
+    def test_insert_orphan_rejected(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.execute("INSERT INTO SIMULATION VALUES ('S9','NOPE','t',1,NULL)")
+
+    def test_null_fk_allowed(self, db):
+        db.execute("INSERT INTO SIMULATION VALUES ('S9', NULL, 't', 1, NULL)")
+
+    def test_delete_referenced_parent_blocked(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.execute("DELETE FROM AUTHOR WHERE author_key = 'A1'")
+
+    def test_delete_unreferenced_parent_ok(self, db):
+        assert db.execute("DELETE FROM AUTHOR WHERE author_key = 'A3'").rowcount == 1
+
+    def test_update_referenced_key_blocked(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.execute("UPDATE AUTHOR SET author_key = 'AX' WHERE author_key = 'A1'")
+
+    def test_update_unreferenced_key_ok(self, db):
+        db.execute("UPDATE AUTHOR SET author_key = 'AX' WHERE author_key = 'A3'")
+        assert db.execute(
+            "SELECT COUNT(*) FROM AUTHOR WHERE author_key = 'AX'"
+        ).scalar() == 1
+
+    def test_update_child_to_orphan_rejected(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.execute("UPDATE SIMULATION SET author_key = 'NOPE' WHERE simulation_key = 'S1'")
+
+    def test_update_child_to_valid_parent(self, db):
+        db.execute("UPDATE SIMULATION SET author_key = 'A3' WHERE simulation_key = 'S3'")
+        assert db.execute(
+            "SELECT author_key FROM SIMULATION WHERE simulation_key = 'S3'"
+        ).scalar() == "A3"
+
+
+class TestUpdateDelete:
+    def test_update_rowcount(self, db):
+        result = db.execute("UPDATE SIMULATION SET grid_size = grid_size * 2")
+        assert result.rowcount == 3
+
+    def test_update_with_where(self, db):
+        db.execute("UPDATE SIMULATION SET title = 'Renamed' WHERE simulation_key = 'S1'")
+        assert db.execute(
+            "SELECT title FROM SIMULATION WHERE simulation_key = 'S1'"
+        ).scalar() == "Renamed"
+
+    def test_update_check_enforced(self, db):
+        with pytest.raises(CheckViolation):
+            db.execute("UPDATE SIMULATION SET grid_size = -1 WHERE simulation_key = 'S1'")
+
+    def test_delete_rowcount(self, db):
+        assert db.execute("DELETE FROM SIMULATION WHERE author_key = 'A1'").rowcount == 2
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM SIMULATION")
+        assert db.execute("SELECT COUNT(*) FROM SIMULATION").scalar() == 0
+
+
+class TestSelect:
+    def test_projection_and_filter(self, db):
+        rows = db.execute(
+            "SELECT title FROM SIMULATION WHERE grid_size > 100 ORDER BY title"
+        ).rows
+        assert rows == [("Boundary layer",), ("Turbulent channel flow",)]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM AUTHOR WHERE author_key = 'A1'")
+        assert result.columns == ["AUTHOR_KEY", "NAME", "EMAIL"]
+
+    def test_qualified_star(self, db):
+        result = db.execute(
+            "SELECT s.* FROM SIMULATION s JOIN AUTHOR a ON s.author_key = a.author_key"
+        )
+        assert result.columns[0] == "SIMULATION_KEY"
+
+    def test_join(self, db):
+        rows = db.execute(
+            "SELECT a.name, s.title FROM SIMULATION s "
+            "JOIN AUTHOR a ON s.author_key = a.author_key "
+            "WHERE s.simulation_key = 'S3'"
+        ).rows
+        assert rows == [("Jasmin Wason", "Pipe flow")]
+
+    def test_left_join_keeps_unmatched(self, db):
+        db.execute("INSERT INTO SIMULATION VALUES ('S9', NULL, 'orphan', 1, NULL)")
+        rows = db.execute(
+            "SELECT s.simulation_key, a.name FROM SIMULATION s "
+            "LEFT JOIN AUTHOR a ON s.author_key = a.author_key "
+            "ORDER BY s.simulation_key"
+        ).rows
+        assert ("S9", None) in rows
+
+    def test_implicit_join_with_where(self, db):
+        rows = db.execute(
+            "SELECT a.name FROM SIMULATION s, AUTHOR a "
+            "WHERE s.author_key = a.author_key AND s.simulation_key = 'S1'"
+        ).rows
+        assert rows == [("Mark Papiani",)]
+
+    def test_group_by_having(self, db):
+        rows = db.execute(
+            "SELECT author_key, COUNT(*) AS n FROM SIMULATION "
+            "GROUP BY author_key HAVING COUNT(*) > 1"
+        ).rows
+        assert rows == [("A1", 2)]
+
+    def test_aggregates_without_group(self, db):
+        row = db.execute(
+            "SELECT COUNT(*), MIN(grid_size), MAX(grid_size), AVG(grid_size), SUM(grid_size) "
+            "FROM SIMULATION"
+        ).first()
+        assert row == (3, 64, 256, (128 + 256 + 64) / 3, 448)
+
+    def test_aggregate_on_empty_table(self, db):
+        db.execute("DELETE FROM SIMULATION")
+        assert db.execute("SELECT COUNT(*) FROM SIMULATION").first() == (0,)
+        assert db.execute("SELECT MAX(grid_size) FROM SIMULATION").first() == (None,)
+
+    def test_count_ignores_nulls(self, db):
+        assert db.execute("SELECT COUNT(description) FROM SIMULATION").scalar() == 2
+
+    def test_distinct(self, db):
+        rows = db.execute(
+            "SELECT DISTINCT author_key FROM SIMULATION ORDER BY author_key"
+        ).rows
+        assert rows == [("A1",), ("A2",)]
+
+    def test_order_by_desc_nulls(self, db):
+        db.execute("INSERT INTO SIMULATION VALUES ('S9', NULL, 'x', NULL, NULL)")
+        rows = db.execute(
+            "SELECT simulation_key FROM SIMULATION ORDER BY grid_size"
+        ).rows
+        assert rows[0] == ("S9",)  # NULLs sort first ascending
+
+    def test_limit_offset(self, db):
+        rows = db.execute(
+            "SELECT simulation_key FROM SIMULATION ORDER BY simulation_key "
+            "LIMIT 1 OFFSET 1"
+        ).rows
+        assert rows == [("S2",)]
+
+    def test_like(self, db):
+        rows = db.execute(
+            "SELECT name FROM AUTHOR WHERE name LIKE '%Wason'"
+        ).rows
+        assert rows == [("Jasmin Wason",)]
+
+    def test_in(self, db):
+        assert len(db.execute(
+            "SELECT * FROM AUTHOR WHERE author_key IN ('A1','A2')"
+        )) == 2
+
+    def test_between(self, db):
+        rows = db.execute(
+            "SELECT simulation_key FROM SIMULATION WHERE grid_size BETWEEN 100 AND 300 "
+            "ORDER BY simulation_key"
+        ).rows
+        assert rows == [("S1",), ("S2",)]
+
+    def test_is_null(self, db):
+        assert db.execute(
+            "SELECT simulation_key FROM SIMULATION WHERE description IS NULL"
+        ).rows == [("S2",)]
+
+    def test_expression_select_items(self, db):
+        row = db.execute(
+            "SELECT grid_size * grid_size AS area, UPPER(title) "
+            "FROM SIMULATION WHERE simulation_key = 'S3'"
+        ).first()
+        assert row == (64 * 64, "PIPE FLOW")
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").scalar() == 3
+
+    def test_scalar_of_empty(self, db):
+        assert db.execute("SELECT * FROM AUTHOR WHERE author_key = 'ZZ'").scalar() is None
+
+    def test_dicts(self, db):
+        d = db.execute("SELECT name FROM AUTHOR WHERE author_key = 'A1'").dicts()
+        assert d == [{"NAME": "Mark Papiani"}]
+
+    def test_pk_lookup_uses_index(self, db):
+        plan = db.explain("SELECT * FROM SIMULATION WHERE simulation_key = 'S1'")
+        assert "PK_SIMULATION" in plan
+
+    def test_join_uses_index(self, db):
+        plan = db.explain(
+            "SELECT * FROM SIMULATION s JOIN AUTHOR a ON s.author_key = a.author_key"
+        )
+        assert "index nested-loop join" in plan
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM NO_SUCH")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT nope FROM AUTHOR")
+
+    def test_order_by_alias(self, db):
+        rows = db.execute(
+            "SELECT author_key, COUNT(*) AS n FROM SIMULATION "
+            "GROUP BY author_key ORDER BY n DESC, author_key"
+        ).rows
+        assert rows == [("A1", 2), ("A2", 1)]
+
+
+class TestTransactions:
+    def test_commit_persists(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO AUTHOR VALUES ('A8', 'In Txn', NULL)")
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 4
+
+    def test_rollback_undoes_insert(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO AUTHOR VALUES ('A8', 'In Txn', NULL)")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 3
+
+    def test_rollback_undoes_update_and_delete(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE AUTHOR SET name = 'Changed' WHERE author_key = 'A3'")
+        db.execute("DELETE FROM SIMULATION WHERE simulation_key = 'S3'")
+        db.execute("ROLLBACK")
+        assert db.execute(
+            "SELECT name FROM AUTHOR WHERE author_key = 'A3'"
+        ).scalar() == "Denis Nicole"
+        assert db.execute("SELECT COUNT(*) FROM SIMULATION").scalar() == 3
+
+    def test_rollback_restores_indexes(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM SIMULATION WHERE simulation_key = 'S3'")
+        db.execute("ROLLBACK")
+        # PK index must contain S3 again: re-insert collides.
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO SIMULATION VALUES ('S3','A2','x',1,NULL)")
+
+    def test_context_manager_commit_and_rollback(self, db):
+        with db.transaction():
+            db.execute("INSERT INTO AUTHOR VALUES ('A8', 'ctx', NULL)")
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 4
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO AUTHOR VALUES ('A9', 'doomed', NULL)")
+                raise RuntimeError("boom")
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 4
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+
+    def test_failed_statement_in_txn_leaves_txn_open(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO AUTHOR VALUES ('A8', 'keep', NULL)")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO AUTHOR VALUES ('A1', 'dup', NULL)")
+        db.execute("COMMIT")
+        # Partial-statement effects of the failed insert must not persist,
+        # but the earlier insert must.
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 4
+
+    def test_multi_row_insert_is_atomic_in_autocommit(self, db):
+        with pytest.raises(UniqueViolation):
+            db.execute(
+                "INSERT INTO AUTHOR VALUES ('A8','ok',NULL), ('A1','dup',NULL)"
+            )
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 3
+
+    def test_drop_table_inside_txn_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("DROP TABLE SIMULATION")
+        db.execute("ROLLBACK")

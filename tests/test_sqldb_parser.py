@@ -1,0 +1,366 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqldb.expressions import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Parameter,
+    Star,
+    UnaryOp,
+)
+from repro.sqldb.parser import parse_script, parse_sql, tokenize
+from repro.sqldb.parser.ast_nodes import (
+    BeginStmt,
+    CommitStmt,
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    RollbackStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.sqldb.types import DatalinkType, VarcharType
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE x = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count("IDENT") == 7
+        assert kinds[-1] == "EOF"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'o''neill'")
+        assert tokens[0].value == "o'neill"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n+ 2")
+        values = [t.value for t in tokens if t.kind != "EOF"]
+        assert values == ["SELECT", "1", "+", "2"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("1 /* in the middle */ 2")
+        assert [t.value for t in tokens if t.kind != "EOF"] == ["1", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("1 /* never ends")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5E-2")
+        assert [t.value for t in tokens if t.kind == "NUMBER"] == [
+            "1", "2.5", "1e3", "2.5E-2",
+        ]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "Weird Name"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <> b <= c || d")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["<>", "<=", "||"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_param_token(self):
+        tokens = tokenize("x = ?")
+        assert any(t.kind == "PARAM" for t in tokens)
+
+
+class TestCreateTable:
+    def test_simple(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(20) NOT NULL)"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.name == "T"
+        assert stmt.primary_key == ("ID",)
+        assert stmt.columns[1].nullable is False
+        assert isinstance(stmt.columns[1].type, VarcharType)
+
+    def test_table_level_constraints(self):
+        stmt = parse_sql(
+            """CREATE TABLE result_file (
+                 file_name VARCHAR(40),
+                 simulation_key VARCHAR(30),
+                 PRIMARY KEY (file_name, simulation_key),
+                 FOREIGN KEY (simulation_key) REFERENCES simulation (simulation_key),
+                 UNIQUE (file_name),
+                 CHECK (file_name <> '')
+               )"""
+        )
+        assert stmt.primary_key == ("FILE_NAME", "SIMULATION_KEY")
+        assert stmt.foreign_keys[0].ref_table == "SIMULATION"
+        assert stmt.unique_sets == [("FILE_NAME",)]
+        assert len(stmt.checks) == 1
+
+    def test_inline_references(self):
+        stmt = parse_sql(
+            "CREATE TABLE s (k VARCHAR(10) PRIMARY KEY, "
+            "a VARCHAR(10) REFERENCES author (author_key))"
+        )
+        fk = stmt.foreign_keys[0]
+        assert fk.columns == ("A",)
+        assert fk.ref_table == "AUTHOR"
+
+    def test_datalink_full_options(self):
+        stmt = parse_sql(
+            "CREATE TABLE r (d DATALINK LINKTYPE URL FILE LINK CONTROL "
+            "INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED "
+            "RECOVERY YES ON UNLINK RESTORE)"
+        )
+        spec = stmt.columns[0].type.spec
+        assert spec.link_control is True
+        assert spec.integrity == "ALL"
+        assert spec.read_permission == "DB"
+        assert spec.write_permission == "BLOCKED"
+        assert spec.recovery is True
+        assert spec.on_unlink == "RESTORE"
+
+    def test_datalink_no_link_control(self):
+        stmt = parse_sql("CREATE TABLE r (d DATALINK LINKTYPE URL NO LINK CONTROL)")
+        assert stmt.columns[0].type.spec.link_control is False
+
+    def test_datalink_bare(self):
+        stmt = parse_sql("CREATE TABLE r (d DATALINK)")
+        assert isinstance(stmt.columns[0].type, DatalinkType)
+        assert stmt.columns[0].type.spec.link_control is False
+
+    def test_datalink_options_imply_control(self):
+        stmt = parse_sql("CREATE TABLE r (d DATALINK READ PERMISSION DB)")
+        assert stmt.columns[0].type.spec.link_control is True
+
+    def test_default_values(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (n INTEGER DEFAULT 3, s VARCHAR(5) DEFAULT 'ab', "
+            "d DATE DEFAULT DATE '2000-01-01', neg INTEGER DEFAULT -1)"
+        )
+        assert stmt.columns[0].default == 3
+        assert stmt.columns[1].default == "ab"
+        assert stmt.columns[2].default == dt.date(2000, 1, 1)
+        assert stmt.columns[3].default == -1
+
+    def test_if_not_exists(self):
+        stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert stmt.if_not_exists is True
+
+    def test_missing_type_is_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("CREATE TABLE t (x)")
+
+    def test_duplicate_primary_key_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(
+                "CREATE TABLE t (x INTEGER PRIMARY KEY, y INTEGER, PRIMARY KEY (y))"
+            )
+
+
+class TestDml:
+    def test_insert_positional(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns is None
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns_and_params(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert stmt.columns == ["A", "B"]
+        params = [e for row in stmt.rows for e in row]
+        assert all(isinstance(e, Parameter) for e in params)
+        assert [p.index for p in params] == [0, 1]
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE k = 'x'")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.assignments[0][0] == "A"
+        assert isinstance(stmt.assignments[1][1], BinaryOp)
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        stmt = parse_sql("DELETE FROM t")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is None
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTableStmt)
+        assert stmt.if_exists
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert isinstance(stmt, CreateIndexStmt)
+        assert stmt.unique
+        assert stmt.columns == ("A", "B")
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert stmt.items[0].is_star
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        assert stmt.items[0].star_table == "T"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "X"
+        assert stmt.items[1].alias == "Y"
+
+    def test_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.k = b.k LEFT JOIN c ON b.k = c.k"
+        )
+        assert [j.kind for j in stmt.joins] == ["INNER", "LEFT"]
+
+    def test_implicit_cross_join(self):
+        stmt = parse_sql("SELECT * FROM a, b WHERE a.k = b.k")
+        assert len(stmt.tables) == 2
+
+    def test_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC, a ASC LIMIT 10 OFFSET 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_aggregates(self):
+        stmt = parse_sql("SELECT COUNT(*), COUNT(DISTINCT a), SUM(b) FROM t")
+        first = stmt.items[0].expr
+        assert isinstance(first, AggregateCall)
+        assert isinstance(first.arg, Star)
+        assert stmt.items[1].expr.distinct is True
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 1")
+        assert stmt.tables == []
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT s.title FROM simulation AS s")
+        assert stmt.tables[0].alias == "S"
+
+
+class TestExpressionsParsing:
+    def test_precedence(self):
+        stmt = parse_sql("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse_sql("SELECT (1 + 2) * 3")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not(self):
+        stmt = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, UnaryOp)
+
+    def test_like(self):
+        stmt = parse_sql("SELECT * FROM t WHERE name LIKE 'Mark%'")
+        assert isinstance(stmt.where, Like)
+
+    def test_not_like(self):
+        stmt = parse_sql("SELECT * FROM t WHERE name NOT LIKE '%x%'")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT * FROM t WHERE k IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_between(self):
+        stmt = parse_sql("SELECT * FROM t WHERE g BETWEEN 64 AND 256")
+        assert isinstance(stmt.where, Between)
+
+    def test_is_null_and_is_not_null(self):
+        a = parse_sql("SELECT * FROM t WHERE x IS NULL").where
+        b = parse_sql("SELECT * FROM t WHERE x IS NOT NULL").where
+        assert isinstance(a, IsNull) and not a.negated
+        assert isinstance(b, IsNull) and b.negated
+
+    def test_function_call(self):
+        stmt = parse_sql("SELECT UPPER(name) FROM t")
+        assert isinstance(stmt.items[0].expr, FunctionCall)
+
+    def test_qualified_column(self):
+        stmt = parse_sql("SELECT t.a FROM t")
+        ref = stmt.items[0].expr
+        assert isinstance(ref, ColumnRef)
+        assert ref.table == "T" and ref.column == "A"
+
+    def test_literals(self):
+        stmt = parse_sql("SELECT NULL, TRUE, FALSE, DATE '2000-01-01'")
+        values = [item.expr.value for item in stmt.items]
+        assert values == [None, True, False, dt.date(2000, 1, 1)]
+
+    def test_string_concat(self):
+        stmt = parse_sql("SELECT 'a' || 'b'")
+        assert stmt.items[0].expr.op == "||"
+
+    def test_dangling_not_is_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t WHERE a NOT 5")
+
+
+class TestTransactionsAndScripts:
+    def test_txn_statements(self):
+        assert isinstance(parse_sql("BEGIN"), BeginStmt)
+        assert isinstance(parse_sql("COMMIT WORK"), CommitStmt)
+        assert isinstance(parse_sql("ROLLBACK"), RollbackStmt)
+
+    def test_script(self):
+        stmts = parse_script(
+            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(stmts) == 3
+        assert isinstance(stmts[2], SelectStmt)
+
+    def test_trailing_garbage_is_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 garbage garbage garbage FROM")
+
+    def test_error_carries_position(self):
+        try:
+            parse_sql("SELECT FROM")
+        except SqlSyntaxError as exc:
+            assert exc.position is not None
+        else:
+            pytest.fail("expected SqlSyntaxError")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("GRANT ALL ON t TO user")

@@ -1,0 +1,197 @@
+"""Unit tests for heaps, indexes and the Table storage wrapper."""
+
+import pytest
+
+from repro.errors import CatalogError, UniqueViolation
+from repro.sqldb.schema import Column, TableSchema
+from repro.sqldb.storage import HashIndex, Heap, SortedIndex, Table
+from repro.sqldb.types import IntegerType, VarcharType
+
+
+class TestHeap:
+    def test_insert_assigns_sequential_rowids(self):
+        heap = Heap()
+        assert heap.insert(("a",)) == 1
+        assert heap.insert(("b",)) == 2
+
+    def test_explicit_rowid_respected(self):
+        heap = Heap()
+        heap.insert(("a",), rowid=10)
+        assert heap.insert(("b",)) == 11
+
+    def test_explicit_rowid_collision(self):
+        heap = Heap()
+        heap.insert(("a",), rowid=1)
+        with pytest.raises(CatalogError):
+            heap.insert(("b",), rowid=1)
+
+    def test_delete_returns_row(self):
+        heap = Heap()
+        rowid = heap.insert(("a",))
+        assert heap.delete(rowid) == ("a",)
+        assert len(heap) == 0
+
+    def test_delete_missing(self):
+        with pytest.raises(CatalogError):
+            Heap().delete(99)
+
+    def test_update(self):
+        heap = Heap()
+        rowid = heap.insert(("a",))
+        assert heap.update(rowid, ("b",)) == ("a",)
+        assert heap.get(rowid) == ("b",)
+
+    def test_scan_is_stable_under_mutation(self):
+        heap = Heap()
+        for i in range(5):
+            heap.insert((i,))
+        for rowid, _row in heap.scan():
+            heap.delete(rowid)  # must not blow up mid-iteration
+        assert len(heap) == 0
+
+
+class TestHashIndex:
+    def test_find(self):
+        index = HashIndex("ix", ["A"])
+        index.add(("x",), 1)
+        index.add(("x",), 2)
+        assert index.find(("x",)) == {1, 2}
+
+    def test_unique_rejects_duplicates(self):
+        index = HashIndex("ix", ["A"], unique=True)
+        index.add(("x",), 1)
+        with pytest.raises(UniqueViolation):
+            index.add(("x",), 2)
+
+    def test_nulls_never_collide(self):
+        index = HashIndex("ix", ["A"], unique=True)
+        index.add((None,), 1)
+        index.add((None,), 2)  # SQL: NULLs are not equal
+        assert index.find((None,)) == set()
+
+    def test_remove(self):
+        index = HashIndex("ix", ["A"])
+        index.add(("x",), 1)
+        index.remove(("x",), 1)
+        assert index.find(("x",)) == set()
+        assert len(index) == 0
+
+    def test_contains(self):
+        index = HashIndex("ix", ["A"])
+        index.add(("k",), 5)
+        assert index.contains(("k",))
+        assert not index.contains(("other",))
+
+
+class TestSortedIndex:
+    def test_range_scan(self):
+        index = SortedIndex("ix", ["N"])
+        for i in [5, 1, 3, 9, 7]:
+            index.add((i,), i * 10)
+        assert index.range_scan((3,), (7,)) == [30, 50, 70]
+
+    def test_range_scan_exclusive(self):
+        index = SortedIndex("ix", ["N"])
+        for i in range(1, 6):
+            index.add((i,), i)
+        assert index.range_scan((2,), (4,), include_low=False, include_high=False) == [3]
+
+    def test_unbounded_sides(self):
+        index = SortedIndex("ix", ["N"])
+        for i in [2, 4, 6]:
+            index.add((i,), i)
+        assert index.range_scan(None, (4,)) == [2, 4]
+        assert index.range_scan((4,), None) == [4, 6]
+
+    def test_unique_enforced(self):
+        index = SortedIndex("ix", ["N"], unique=True)
+        index.add((1,), 1)
+        with pytest.raises(UniqueViolation):
+            index.add((1,), 2)
+
+    def test_find_and_remove(self):
+        index = SortedIndex("ix", ["N"])
+        index.add((3,), 1)
+        index.add((3,), 2)
+        assert index.find((3,)) == {1, 2}
+        index.remove((3,), 1)
+        assert index.find((3,)) == {2}
+
+
+def make_table():
+    schema = TableSchema(
+        "T",
+        [
+            Column("K", VarcharType(10)),
+            Column("N", IntegerType()),
+        ],
+        primary_key=("K",),
+    )
+    return Table(schema)
+
+
+class TestTable:
+    def test_pk_index_created(self):
+        table = make_table()
+        assert "PK_T" in table.indexes
+        assert table.indexes["PK_T"].unique
+
+    def test_insert_updates_indexes(self):
+        table = make_table()
+        rowid, _ = table.insert(("a", 1))
+        assert table.indexes["PK_T"].find(("a",)) == {rowid}
+
+    def test_pk_duplicate_rejected(self):
+        table = make_table()
+        table.insert(("a", 1))
+        with pytest.raises(UniqueViolation):
+            table.insert(("a", 2))
+
+    def test_delete_cleans_indexes(self):
+        table = make_table()
+        rowid, _ = table.insert(("a", 1))
+        table.delete(rowid)
+        assert table.indexes["PK_T"].find(("a",)) == set()
+
+    def test_update_moves_index_entries(self):
+        table = make_table()
+        rowid, _ = table.insert(("a", 1))
+        table.update(rowid, ("b", 2))
+        assert table.indexes["PK_T"].find(("a",)) == set()
+        assert table.indexes["PK_T"].find(("b",)) == {rowid}
+
+    def test_update_to_existing_key_rejected(self):
+        table = make_table()
+        table.insert(("a", 1))
+        rowid, _ = table.insert(("b", 2))
+        with pytest.raises(UniqueViolation):
+            table.update(rowid, ("a", 9))
+
+    def test_update_same_key_allowed(self):
+        table = make_table()
+        rowid, _ = table.insert(("a", 1))
+        table.update(rowid, ("a", 2))  # key unchanged: no self-collision
+        assert table.row(rowid) == ("a", 2)
+
+    def test_add_index_backfills(self):
+        table = make_table()
+        table.insert(("a", 5))
+        table.insert(("b", 5))
+        index = SortedIndex("IX_N", ["N"])
+        table.add_index(index)
+        assert index.find((5,)) == {1, 2}
+
+    def test_add_index_unknown_column(self):
+        table = make_table()
+        with pytest.raises(CatalogError):
+            table.add_index(HashIndex("IX_BAD", ["NOPE"]))
+
+    def test_duplicate_index_name(self):
+        table = make_table()
+        with pytest.raises(CatalogError):
+            table.add_index(HashIndex("PK_T", ["N"]))
+
+    def test_index_leading_on(self):
+        table = make_table()
+        assert table.index_leading_on("K") is table.indexes["PK_T"]
+        assert table.index_leading_on("N") is None

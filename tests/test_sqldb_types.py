@@ -1,0 +1,282 @@
+"""Unit tests for the SQL type system."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import InvalidDatalinkValue, TypeMismatchError
+from repro.sqldb.types import (
+    Blob,
+    BlobType,
+    BooleanType,
+    CharType,
+    Clob,
+    ClobType,
+    DatalinkType,
+    DatalinkValue,
+    DateType,
+    DoubleType,
+    IntegerType,
+    TimestampType,
+    VarcharType,
+    type_from_name,
+    value_from_json,
+    value_to_json,
+)
+
+
+class TestIntegerType:
+    def test_accepts_int(self):
+        assert IntegerType().validate(42) == 42
+
+    def test_accepts_integral_float(self):
+        assert IntegerType().validate(3.0) == 3
+
+    def test_accepts_numeric_string(self):
+        assert IntegerType().validate("17") == 17
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().validate(3.5)
+
+    def test_rejects_boolean(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().validate(True)
+
+    def test_null_passes(self):
+        assert IntegerType().validate(None) is None
+
+
+class TestDoubleType:
+    def test_accepts_int_and_float(self):
+        assert DoubleType().validate(2) == 2.0
+        assert DoubleType().validate(2.5) == 2.5
+
+    def test_accepts_string(self):
+        assert DoubleType().validate("1.5e3") == 1500.0
+
+    def test_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            DoubleType().validate("abc")
+
+
+class TestBooleanType:
+    def test_accepts_bool(self):
+        assert BooleanType().validate(True) is True
+
+    def test_accepts_zero_one(self):
+        assert BooleanType().validate(0) is False
+        assert BooleanType().validate(1) is True
+
+    def test_accepts_keywords(self):
+        assert BooleanType().validate("true") is True
+
+    def test_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            BooleanType().validate(2)
+
+    def test_literal(self):
+        assert BooleanType().to_literal(True) == "TRUE"
+
+
+class TestVarcharType:
+    def test_length_enforced(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(3).validate("abcd")
+
+    def test_exact_length_ok(self):
+        assert VarcharType(3).validate("abc") == "abc"
+
+    def test_numbers_coerced_to_text(self):
+        assert VarcharType(10).validate(42) == "42"
+
+    def test_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(10).validate(b"raw")
+
+    def test_literal_escapes_quotes(self):
+        assert VarcharType(20).to_literal("o'neill") == "'o''neill'"
+
+    def test_ddl(self):
+        assert VarcharType(30).ddl() == "VARCHAR(30)"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(0)
+
+
+class TestCharType:
+    def test_pads_to_size(self):
+        assert CharType(5).validate("ab") == "ab   "
+
+    def test_ddl(self):
+        assert CharType(4).ddl() == "CHAR(4)"
+
+
+class TestTemporalTypes:
+    def test_date_from_iso(self):
+        assert DateType().validate("2000-03-27") == dt.date(2000, 3, 27)
+
+    def test_date_from_datetime(self):
+        value = DateType().validate(dt.datetime(2000, 3, 27, 12, 0))
+        assert value == dt.date(2000, 3, 27)
+
+    def test_bad_date_string(self):
+        with pytest.raises(TypeMismatchError):
+            DateType().validate("27/03/2000")
+
+    def test_timestamp_from_iso(self):
+        value = TimestampType().validate("2000-03-27T09:30:00")
+        assert value == dt.datetime(2000, 3, 27, 9, 30)
+
+    def test_timestamp_promotes_date(self):
+        value = TimestampType().validate(dt.date(2000, 1, 1))
+        assert value == dt.datetime(2000, 1, 1)
+
+    def test_literals(self):
+        assert DateType().to_literal(dt.date(2000, 1, 2)) == "DATE '2000-01-02'"
+
+
+class TestLobTypes:
+    def test_blob_from_bytes(self):
+        blob = BlobType().validate(b"\x00\x01")
+        assert isinstance(blob, Blob)
+        assert len(blob) == 2
+
+    def test_blob_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            BlobType().validate("text")
+
+    def test_clob_from_str(self):
+        clob = ClobType().validate("a turbulent description")
+        assert isinstance(clob, Clob)
+        assert len(clob) == 23
+
+    def test_clob_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            ClobType().validate(b"raw")
+
+    def test_blob_equality(self):
+        assert Blob(b"a") == Blob(b"a")
+        assert Blob(b"a") != Blob(b"b")
+
+    def test_blob_hex_literal(self):
+        assert BlobType().to_literal(Blob(b"\xff")) == "X'ff'"
+
+
+class TestDatalinkValue:
+    def test_parse_plain_url(self):
+        value = DatalinkValue("http://fs1.soton.ac.uk/data/run1/ts0001.dat")
+        assert value.host == "fs1.soton.ac.uk"
+        assert value.directory == "/data/run1"
+        assert value.filename == "ts0001.dat"
+        assert value.url == "http://fs1.soton.ac.uk/data/run1/ts0001.dat"
+
+    def test_tokenized_url_shape(self):
+        value = DatalinkValue("http://h/d/f.dat").with_token("abc123")
+        assert value.tokenized_url == "http://h/d/abc123;f.dat"
+
+    def test_tokenized_without_token_is_plain(self):
+        value = DatalinkValue("http://h/d/f.dat")
+        assert value.tokenized_url == value.url
+
+    def test_parse_tokenized(self):
+        value = DatalinkValue.parse_tokenized("http://h/d/tok;f.dat")
+        assert value.token == "tok"
+        assert value.filename == "f.dat"
+        assert value.url == "http://h/d/f.dat"
+
+    def test_server_path(self):
+        value = DatalinkValue("http://h/fs/dir/name.bin")
+        assert value.server_path == "/fs/dir/name.bin"
+
+    def test_rejects_bad_scheme(self):
+        with pytest.raises(InvalidDatalinkValue):
+            DatalinkValue("gopher://h/f.dat")
+
+    def test_rejects_directory_url(self):
+        with pytest.raises(InvalidDatalinkValue):
+            DatalinkValue("http://h/dir/")
+
+    def test_rejects_hostless(self):
+        with pytest.raises(InvalidDatalinkValue):
+            DatalinkValue("http:///f.dat")
+
+    def test_equality_ignores_token(self):
+        a = DatalinkValue("http://h/d/f.dat")
+        assert a == a.with_token("t")
+        assert hash(a) == hash(a.with_token("t"))
+
+    def test_with_size(self):
+        assert DatalinkValue("http://h/d/f.dat").with_size(99).size == 99
+
+    def test_type_coerces_string(self):
+        value = DatalinkType().validate("http://h/d/f.dat")
+        assert isinstance(value, DatalinkValue)
+
+    def test_type_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            DatalinkType().validate(7)
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", "INTEGER"),
+            ("int", "INTEGER"),
+            ("BIGINT", "INTEGER"),
+            ("FLOAT", "DOUBLE"),
+            ("REAL", "DOUBLE"),
+            ("BOOLEAN", "BOOLEAN"),
+            ("DATE", "DATE"),
+            ("TIMESTAMP", "TIMESTAMP"),
+            ("BLOB", "BLOB"),
+            ("CLOB", "CLOB"),
+            ("DATALINK", "DATALINK"),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert type_from_name(name).name == expected
+
+    def test_varchar_size(self):
+        assert type_from_name("VARCHAR", 30).size == 30
+
+    def test_varchar_default_size(self):
+        assert type_from_name("VARCHAR").size == 255
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("GEOMETRY")
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            3.5,
+            "text",
+            True,
+            Blob(b"\x00\xff", "image/png"),
+            Clob("hello", "text/html"),
+            DatalinkValue("http://h/d/f.dat"),
+            dt.date(2000, 3, 27),
+            dt.datetime(2000, 3, 27, 10, 30, 5),
+        ],
+    )
+    def test_round_trip(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_blob_preserves_mime(self):
+        out = value_from_json(value_to_json(Blob(b"x", "image/gif")))
+        assert out.mime_type == "image/gif"
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(TypeMismatchError):
+            value_to_json(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(TypeMismatchError):
+            value_from_json(["mystery", 1])

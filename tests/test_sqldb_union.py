@@ -1,0 +1,115 @@
+"""Tests for UNION / UNION ALL and the web-layer hardening additions."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError, WebError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE A (k INTEGER PRIMARY KEY, s VARCHAR(5))")
+    database.execute("CREATE TABLE B (k INTEGER PRIMARY KEY, s VARCHAR(5))")
+    database.execute("INSERT INTO A VALUES (1,'x'),(2,'y'),(3,'z')")
+    database.execute("INSERT INTO B VALUES (2,'y'),(3,'q'),(4,'w')")
+    return database
+
+
+class TestUnion:
+    def test_union_deduplicates(self, db):
+        rows = sorted(db.execute("SELECT k FROM A UNION SELECT k FROM B").rows)
+        assert rows == [(1,), (2,), (3,), (4,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.execute("SELECT k FROM A UNION ALL SELECT k FROM B").rows
+        assert len(rows) == 6
+
+    def test_dedup_on_whole_row(self, db):
+        # (3,'z') vs (3,'q'): different rows, both kept
+        rows = sorted(db.execute("SELECT k, s FROM A UNION SELECT k, s FROM B").rows)
+        assert (3, "q") in rows and (3, "z") in rows
+        assert rows.count((2, "y")) == 1
+
+    def test_three_way_union(self, db):
+        rows = db.execute(
+            "SELECT k FROM A WHERE k = 1 UNION SELECT k FROM B WHERE k = 4 "
+            "UNION SELECT k FROM A WHERE k = 2"
+        ).rows
+        assert sorted(rows) == [(1,), (2,), (4,)]
+
+    def test_columns_from_first_branch(self, db):
+        result = db.execute("SELECT k AS key1 FROM A UNION SELECT k FROM B")
+        assert result.columns == ["KEY1"]
+
+    def test_mismatched_columns_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT k FROM A UNION SELECT k, s FROM B")
+
+    def test_mixed_union_kinds_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute(
+                "SELECT k FROM A UNION SELECT k FROM B UNION ALL SELECT k FROM A"
+            )
+
+    def test_union_with_filters_and_params(self, db):
+        rows = db.execute(
+            "SELECT s FROM A WHERE k = ? UNION SELECT s FROM B WHERE k = ?",
+            (1, 4),
+        ).rows
+        assert sorted(rows) == [("w",), ("x",)]
+
+    def test_union_with_nulls(self, db):
+        db.execute("CREATE TABLE C (k INTEGER PRIMARY KEY, s VARCHAR(5))")
+        db.execute("INSERT INTO C VALUES (9, NULL), (10, NULL)")
+        rows = db.execute("SELECT s FROM C UNION SELECT s FROM C").rows
+        assert rows == [(None,)]
+
+    def test_union_over_views(self, db):
+        db.execute("CREATE VIEW VA AS SELECT k FROM A WHERE k < 3")
+        db.execute("CREATE VIEW VB AS SELECT k FROM B WHERE k > 3")
+        rows = sorted(db.execute("SELECT k FROM VA UNION SELECT k FROM VB").rows)
+        assert rows == [(1,), (2,), (4,)]
+
+
+class TestWebHardening:
+    @pytest.fixture(scope="class")
+    def app(self, tmp_path_factory):
+        from repro import EasiaApp, build_turbulence_archive
+
+        archive = build_turbulence_archive(n_simulations=1, timesteps=1, grid=8)
+        engine = archive.make_engine(str(tmp_path_factory.mktemp("hard")))
+        return EasiaApp(
+            archive.db, archive.linker, archive.document, archive.users, engine
+        )
+
+    @pytest.fixture(scope="class")
+    def session(self, app):
+        return app.login("guest", "guest")
+
+    def test_non_numeric_page_is_400(self, app, session):
+        response = app.get(
+            "/search", {"table": "AUTHOR", "page": "abc"}, session_id=session
+        )
+        assert response.status == 400
+
+    def test_non_numeric_limit_is_400(self, app, session):
+        response = app.get(
+            "/search", {"table": "AUTHOR", "limit": "lots"}, session_id=session
+        )
+        assert response.status == 400
+
+    def test_negative_limit_is_400(self, app, session):
+        response = app.get(
+            "/search", {"table": "AUTHOR", "limit": "-3"}, session_id=session
+        )
+        assert response.status == 400
+
+    def test_handler_bug_becomes_500(self, app):
+        def broken(request):
+            raise ZeroDivisionError("bug")
+
+        app.container.register("/broken", broken)
+        response = app.container.dispatch("/broken")
+        assert response.status == 500
+        assert "ZeroDivisionError" in response.text

@@ -1,0 +1,157 @@
+"""Tests for SQL views (CREATE VIEW / DROP VIEW)."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlSyntaxError
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE SIM (k VARCHAR(5) PRIMARY KEY, grid INTEGER, "
+        "title VARCHAR(40))"
+    )
+    database.execute(
+        "INSERT INTO SIM VALUES ('S1',128,'channel'),('S2',64,'pipe'),"
+        "('S3',256,'layer')"
+    )
+    database.execute(
+        "CREATE VIEW BIG_SIMS AS SELECT k, title FROM SIM WHERE grid > 100"
+    )
+    return database
+
+
+class TestViewBasics:
+    def test_select_star(self, db):
+        rows = db.execute("SELECT * FROM BIG_SIMS ORDER BY k").rows
+        assert rows == [("S1", "channel"), ("S3", "layer")]
+
+    def test_projection_and_filter_on_view(self, db):
+        assert db.execute(
+            "SELECT title FROM BIG_SIMS WHERE k = 'S3'"
+        ).scalar() == "layer"
+
+    def test_aggregates_over_view(self, db):
+        assert db.execute("SELECT COUNT(*) FROM BIG_SIMS").scalar() == 2
+
+    def test_view_reflects_live_data(self, db):
+        db.execute("INSERT INTO SIM VALUES ('S4', 512, 'decay')")
+        assert db.execute("SELECT COUNT(*) FROM BIG_SIMS").scalar() == 3
+        db.execute("DELETE FROM SIM WHERE k = 'S4'")
+        assert db.execute("SELECT COUNT(*) FROM BIG_SIMS").scalar() == 2
+
+    def test_join_view_with_base_table(self, db):
+        rows = db.execute(
+            "SELECT b.title, s.grid FROM BIG_SIMS b "
+            "JOIN SIM s ON b.k = s.k ORDER BY b.k"
+        ).rows
+        assert rows == [("channel", 128), ("layer", 256)]
+
+    def test_view_of_view(self, db):
+        db.execute("CREATE VIEW LAYER_ONLY AS SELECT k FROM BIG_SIMS WHERE title = 'layer'")
+        assert db.execute("SELECT * FROM LAYER_ONLY").rows == [("S3",)]
+
+    def test_view_with_aggregation(self, db):
+        db.execute(
+            "CREATE VIEW GRID_STATS AS "
+            "SELECT COUNT(*) AS n, MAX(grid) AS biggest FROM SIM"
+        )
+        assert db.execute("SELECT n, biggest FROM GRID_STATS").first() == (3, 256)
+
+    def test_view_with_subquery(self, db):
+        db.execute(
+            "CREATE VIEW TOP_SIM AS SELECT k FROM SIM "
+            "WHERE grid = (SELECT MAX(grid) FROM SIM)"
+        )
+        assert db.execute("SELECT * FROM TOP_SIM").rows == [("S3",)]
+
+
+class TestViewDdl:
+    def test_drop_view(self, db):
+        db.execute("DROP VIEW BIG_SIMS")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM BIG_SIMS")
+
+    def test_drop_view_if_exists(self, db):
+        db.execute("DROP VIEW IF EXISTS NOT_THERE")
+
+    def test_drop_missing_view(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP VIEW NOT_THERE")
+
+    def test_duplicate_view_name_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW BIG_SIMS AS SELECT k FROM SIM")
+
+    def test_view_cannot_shadow_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW SIM AS SELECT k FROM SIM")
+
+    def test_bad_definition_fails_at_create(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW BROKEN AS SELECT nope FROM SIM")
+
+    def test_duplicate_output_columns_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW DUP AS SELECT k, k FROM SIM")
+
+    def test_aliased_duplicates_accepted(self, db):
+        db.execute("CREATE VIEW OK AS SELECT k, k AS k2 FROM SIM")
+        assert db.execute("SELECT COUNT(*) FROM OK").scalar() == 3
+
+    def test_insert_into_view_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO BIG_SIMS VALUES ('X', 'y')")
+
+    def test_rollback_restores_dropped_view(self, db):
+        db.execute("BEGIN")
+        db.execute("DROP VIEW BIG_SIMS")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM BIG_SIMS").scalar() == 2
+
+    def test_rollback_removes_created_view(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE VIEW TEMP_V AS SELECT k FROM SIM")
+        db.execute("ROLLBACK")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM TEMP_V")
+
+    def test_sysviews_lists_definition(self, db):
+        row = db.execute(
+            "SELECT VIEW_NAME, DEFINITION FROM SYSVIEWS"
+        ).first()
+        assert row[0] == "BIG_SIMS"
+        assert "grid > 100" in row[1]
+
+
+class TestViewDurability:
+    def test_views_survive_recovery(self, tmp_path):
+        d = str(tmp_path)
+        db = Database(d)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        db.execute("CREATE VIEW V10 AS SELECT k FROM t WHERE v = 10")
+        db2 = Database(d)
+        assert db2.execute("SELECT * FROM V10").rows == [(1,)]
+
+    def test_views_survive_checkpoint(self, tmp_path):
+        d = str(tmp_path)
+        db = Database(d)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 10)")
+        db.execute("CREATE VIEW V10 AS SELECT k FROM t WHERE v = 10")
+        db.checkpoint()
+        db2 = Database(d)
+        assert db2.execute("SELECT * FROM V10").rows == [(1,)]
+
+    def test_dropped_view_stays_dropped(self, tmp_path):
+        d = str(tmp_path)
+        db = Database(d)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY)")
+        db.execute("CREATE VIEW V AS SELECT k FROM t")
+        db.execute("DROP VIEW V")
+        db2 = Database(d)
+        with pytest.raises(CatalogError):
+            db2.execute("SELECT * FROM V")

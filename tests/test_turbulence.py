@@ -1,0 +1,219 @@
+"""Tests for the turbulence workload: generator, schema, archive builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForeignKeyViolation, ReproError
+from repro.sqldb import Database
+from repro.turbulence import (
+    CODES,
+    TABLES,
+    build_turbulence_archive,
+    code_archive,
+    create_turbulence_schema,
+    decode_snapshot,
+    encode_snapshot,
+    generate_snapshot,
+    make_timestep_file,
+    snapshot_nbytes,
+)
+from repro.xuis import validate_xuis
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_snapshot(8, seed=1, timestep=2)
+        b = generate_snapshot(8, seed=1, timestep=2)
+        for name in ("u", "v", "w", "p"):
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_seed_changes_data(self):
+        a = generate_snapshot(8, seed=1)
+        b = generate_snapshot(8, seed=2)
+        assert not np.array_equal(a["u"], b["u"])
+
+    def test_timestep_changes_data(self):
+        a = generate_snapshot(8, seed=1, timestep=0)
+        b = generate_snapshot(8, seed=1, timestep=1)
+        assert not np.array_equal(a["u"], b["u"])
+
+    def test_non_cubic_grid(self):
+        fields = generate_snapshot(4, 6, 8)
+        assert fields["p"].shape == (4, 6, 8)
+
+    def test_float32(self):
+        assert generate_snapshot(4)["u"].dtype == np.float32
+
+    def test_bad_grid(self):
+        with pytest.raises(ReproError):
+            generate_snapshot(0)
+
+    def test_encode_decode_round_trip(self):
+        fields = generate_snapshot(6, seed=3)
+        data = encode_snapshot(fields)
+        assert data[:4] == b"TURB"
+        assert len(data) == snapshot_nbytes(6)
+        again = decode_snapshot(data)
+        for name in ("u", "v", "w", "p"):
+            np.testing.assert_array_equal(again[name], fields[name])
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            decode_snapshot(b"nope")
+
+    def test_decode_rejects_truncated(self):
+        data = encode_snapshot(generate_snapshot(4))
+        with pytest.raises(ReproError):
+            decode_snapshot(data[:-10])
+
+    def test_encode_rejects_mismatched_shapes(self):
+        fields = generate_snapshot(4)
+        fields["p"] = fields["p"][:2]
+        with pytest.raises(ReproError):
+            encode_snapshot(fields)
+
+    def test_snapshot_nbytes_formula(self):
+        assert snapshot_nbytes(4) == 16 + 4 * 4 * 64
+        assert snapshot_nbytes(2, 3, 4) == 16 + 4 * 4 * 24
+
+    def test_make_timestep_file(self):
+        data = make_timestep_file(5, seed=1, timestep=0)
+        assert len(data) == snapshot_nbytes(5)
+
+
+class TestSchema:
+    def test_all_five_tables(self):
+        db = Database()
+        create_turbulence_schema(db)
+        assert db.table_names() == sorted(TABLES)
+
+    def test_referential_integrity_wired(self):
+        db = Database()
+        create_turbulence_schema(db)
+        with pytest.raises(ForeignKeyViolation):
+            db.execute(
+                "INSERT INTO SIMULATION (SIMULATION_KEY, AUTHOR_KEY, TITLE) "
+                "VALUES ('S1', 'GHOST', 't')"
+            )
+
+    def test_result_file_composite_pk(self):
+        db = Database()
+        create_turbulence_schema(db)
+        assert db.catalog.schema("RESULT_FILE").primary_key == (
+            "FILE_NAME", "SIMULATION_KEY",
+        )
+
+    def test_datalink_options_match_paper(self):
+        db = Database()
+        create_turbulence_schema(db)
+        column = db.catalog.schema("RESULT_FILE").column("DOWNLOAD_RESULT")
+        spec = column.type.spec
+        assert spec.link_control
+        assert spec.read_permission == "DB"
+        assert spec.integrity == "ALL"
+        assert spec.recovery
+
+
+class TestCodes:
+    def test_registry(self):
+        assert set(CODES) == {
+            "GetImage", "FieldStats", "Subsample", "Vorticity", "EnergySpectrum",
+        }
+
+    def test_code_archive_contains_entry(self):
+        import io
+        import zipfile
+
+        data = code_archive("GetImage")
+        with zipfile.ZipFile(io.BytesIO(data)) as zf:
+            assert zf.namelist() == ["GetImage.py"]
+
+    def test_unknown_code(self):
+        with pytest.raises(ReproError):
+            code_archive("Mystery")
+
+
+class TestArchiveBuilder:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return build_turbulence_archive(
+            n_simulations=3, timesteps=2, grid=8, n_file_servers=2
+        )
+
+    def test_row_counts(self, archive):
+        db = archive.db
+        assert db.execute("SELECT COUNT(*) FROM AUTHOR").scalar() == 4
+        assert db.execute("SELECT COUNT(*) FROM SIMULATION").scalar() == 3
+        assert db.execute("SELECT COUNT(*) FROM RESULT_FILE").scalar() == 6
+        assert db.execute("SELECT COUNT(*) FROM CODE_FILE").scalar() == 5
+        assert db.execute("SELECT COUNT(*) FROM VISUALISATION_FILE").scalar() == 1
+
+    def test_datasets_distributed_across_servers(self, archive):
+        placements = {server.host: len(server.filesystem) for server in archive.servers}
+        assert all(count > 0 for count in placements.values())
+
+    def test_files_linked_under_control(self, archive):
+        for row in archive.result_rows():
+            value = row["RESULT_FILE.DOWNLOAD_RESULT"]
+            server = archive.linker.server(value.host)
+            assert server.filesystem.entry(value.server_path).linked
+
+    def test_file_sizes_recorded_accurately(self, archive):
+        for row in archive.result_rows():
+            value = row["RESULT_FILE.DOWNLOAD_RESULT"]
+            server = archive.linker.server(value.host)
+            assert server.filesystem.size(value.server_path) == (
+                row["RESULT_FILE.FILE_SIZE"]
+            )
+
+    def test_select_yields_tokenized_urls(self, archive):
+        value = archive.db.execute(
+            "SELECT DOWNLOAD_RESULT FROM RESULT_FILE LIMIT 1"
+        ).scalar()
+        assert value.token is not None
+        assert value.size is not None
+
+    def test_document_valid_against_catalog(self, archive):
+        assert validate_xuis(archive.document, archive.db) == []
+
+    def test_document_has_operations_and_upload(self, archive):
+        column = archive.document.column("RESULT_FILE.DOWNLOAD_RESULT")
+        names = [op.name for op in column.operations]
+        assert names == [
+            "GetImage", "FieldStats", "Subsample",
+            "Vorticity", "EnergySpectrum", "SDB", "SliceBrowser",
+        ]
+        assert column.upload is not None
+        assert column.upload.guest_access is False
+
+    def test_author_key_substitution_customised(self, archive):
+        fk = archive.document.column("SIMULATION.AUTHOR_KEY").fk
+        assert fk.substcolumn == "AUTHOR.NAME"
+
+    def test_users_present(self, archive):
+        assert archive.users.user("guest").is_guest
+        assert archive.users.user("turbulence").can_download
+        assert archive.users.user("admin").can_manage_users
+
+    def test_result_rows_filter(self, archive):
+        key = archive.simulation_keys[0]
+        rows = archive.result_rows(key)
+        assert len(rows) == 2
+        assert all(r["RESULT_FILE.SIMULATION_KEY"] == key for r in rows)
+
+    def test_total_archived_bytes(self, archive):
+        assert archive.total_archived_bytes > 0
+
+    def test_determinism(self):
+        a = build_turbulence_archive(n_simulations=1, timesteps=1, grid=6)
+        b = build_turbulence_archive(n_simulations=1, timesteps=1, grid=6)
+        va = a.db.execute("SELECT FILE_SIZE FROM RESULT_FILE").scalar()
+        vb = b.db.execute("SELECT FILE_SIZE FROM RESULT_FILE").scalar()
+        assert va == vb
+        row_a = a.result_rows()[0]["RESULT_FILE.DOWNLOAD_RESULT"]
+        row_b = b.result_rows()[0]["RESULT_FILE.DOWNLOAD_RESULT"]
+        server_a = a.linker.server(row_a.host)
+        server_b = b.linker.server(row_b.host)
+        assert server_a.filesystem.read(row_a.server_path) == (
+            server_b.filesystem.read(row_b.server_path)
+        )

@@ -1,0 +1,168 @@
+"""Tests for the physics post-processing codes (vorticity, spectrum) and
+point-in-time file versioning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import FileServerError, OperationError
+from repro.turbulence import build_turbulence_archive, decode_snapshot
+
+COLID = "RESULT_FILE.DOWNLOAD_RESULT"
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return build_turbulence_archive(n_simulations=1, timesteps=1, grid=12)
+
+
+@pytest.fixture
+def engine(archive, tmp_path):
+    return archive.make_engine(str(tmp_path / "sb"))
+
+
+@pytest.fixture
+def row(archive):
+    return archive.result_rows()[0]
+
+
+class TestVorticity:
+    def test_produces_pgm(self, engine, row):
+        result = engine.invoke("Vorticity", COLID, row, {"slice": "x2"})
+        pgm = result.outputs["vorticity.pgm"]
+        assert pgm.startswith(b"P5\n12 12\n255\n")
+        assert len(pgm) == len(b"P5\n12 12\n255\n") + 144
+
+    def test_differs_from_velocity_slice(self, engine, row):
+        vorticity = engine.invoke("Vorticity", COLID, row, {"slice": "x2"})
+        velocity = engine.invoke(
+            "GetImage", COLID, row, {"slice": "x2", "type": "u"}
+        )
+        assert vorticity.outputs["vorticity.pgm"] != velocity.outputs["slice.pgm"]
+
+    def test_matches_numpy_curl(self, engine, archive, row):
+        """Spot-check the sandboxed finite differences against numpy."""
+        server = archive.linker.server(row[COLID].host)
+        fields = decode_snapshot(server.filesystem.read(row[COLID].server_path))
+        u = fields["u"].astype(np.float64)
+        v = fields["v"].astype(np.float64)
+        w = fields["w"].astype(np.float64)
+        ix = 2
+        wx = (np.roll(w, -1, 1) - np.roll(w, 1, 1)) / 2 - (
+            np.roll(v, -1, 2) - np.roll(v, 1, 2)) / 2
+        wy = (np.roll(u, -1, 2) - np.roll(u, 1, 2)) / 2 - (
+            np.roll(w, -1, 0) - np.roll(w, 1, 0)) / 2
+        wz = (np.roll(v, -1, 0) - np.roll(v, 1, 0)) / 2 - (
+            np.roll(u, -1, 1) - np.roll(u, 1, 1)) / 2
+        expected = np.sqrt(wx**2 + wy**2 + wz**2)[ix]
+        lo, hi = expected.min(), expected.max()
+        expected_pixels = (255 * (expected - lo) / (hi - lo)).astype(int)
+
+        result = engine.invoke("Vorticity", COLID, row, {"slice": "x2"},
+                               use_cache=False)
+        pgm = result.outputs["vorticity.pgm"]
+        header_end = pgm.index(b"255\n") + 4
+        pixels = np.frombuffer(pgm[header_end:], dtype=np.uint8).reshape(12, 12)
+        # rounding in the sandboxed integer scaling allows off-by-one
+        assert np.abs(pixels.astype(int) - expected_pixels).max() <= 1
+
+    def test_bad_slice_rejected(self, engine, row):
+        with pytest.raises(OperationError):
+            engine.invoke("Vorticity", COLID, row, {"slice": "x99"})
+
+
+class TestEnergySpectrum:
+    def test_produces_spectrum(self, engine, row):
+        result = engine.invoke("EnergySpectrum", COLID, row)
+        spec = json.loads(result.outputs["spectrum.json"])
+        assert spec["k"][0] == 0
+        assert len(spec["k"]) == len(spec["E"])
+        assert all(e >= 0 for e in spec["E"])
+
+    def test_parseval_total_energy(self, engine, archive, row):
+        """Sum of shell energies equals total spectral energy (Parseval)."""
+        server = archive.linker.server(row[COLID].host)
+        fields = decode_snapshot(server.filesystem.read(row[COLID].server_path))
+        physical = sum(
+            0.5 * float(np.mean(fields[c].astype(np.float64) ** 2))
+            for c in ("u", "v", "w")
+        )
+        result = engine.invoke("EnergySpectrum", COLID, row, use_cache=False)
+        spec = json.loads(result.outputs["spectrum.json"])
+        assert sum(spec["E"]) == pytest.approx(spec["total_energy"], rel=1e-9)
+        assert spec["total_energy"] == pytest.approx(physical, rel=1e-6)
+
+    def test_energy_concentrated_at_low_k(self, engine, row):
+        """The Taylor-Green base flow lives in the lowest wavenumbers."""
+        result = engine.invoke("EnergySpectrum", COLID, row)
+        spec = json.loads(result.outputs["spectrum.json"])
+        low = sum(spec["E"][:4])
+        assert low > 0.5 * spec["total_energy"]
+
+    def test_huge_reduction_factor(self, engine, row):
+        result = engine.invoke("EnergySpectrum", COLID, row, use_cache=False)
+        assert result.reduction_factor > 10
+
+
+class TestPointInTimeVersions:
+    def make_server(self):
+        from repro.fileserver import FileServer
+
+        server = FileServer("fs.pit")
+        server.put("/data/f.bin", b"version-0")
+        return server
+
+    def test_versions_kept_for_recovery_files(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=True)
+        server.put("/data/f.bin", b"version-1")
+        server.put("/data/f.bin", b"version-2")
+        assert server.filesystem.version_count("/data/f.bin") == 2
+        assert server.filesystem.read("/data/f.bin") == b"version-2"
+
+    def test_restore_most_recent(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=True)
+        server.put("/data/f.bin", b"version-1")
+        server.filesystem.restore_version("/data/f.bin")
+        assert server.filesystem.read("/data/f.bin") == b"version-0"
+        assert server.filesystem.version_count("/data/f.bin") == 0
+
+    def test_restore_specific_point(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=True)
+        for i in (1, 2, 3):
+            server.put("/data/f.bin", f"version-{i}".encode())
+        server.filesystem.restore_version("/data/f.bin", index=1)
+        assert server.filesystem.read("/data/f.bin") == b"version-1"
+        # later versions are discarded by the rollback
+        assert server.filesystem.version_count("/data/f.bin") == 1
+
+    def test_no_versions_without_recovery_flag(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=False)
+        server.put("/data/f.bin", b"version-1")
+        assert server.filesystem.version_count("/data/f.bin") == 0
+        with pytest.raises(FileServerError):
+            server.filesystem.restore_version("/data/f.bin")
+
+    def test_unlink_clears_history(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=True)
+        server.put("/data/f.bin", b"version-1")
+        server.dl_unlink("/data/f.bin", delete=False)
+        assert server.filesystem.version_count("/data/f.bin") == 0
+
+    def test_out_of_range_index(self):
+        server = self.make_server()
+        server.dl_link("/data/f.bin", read_db=False, write_blocked=False,
+                       recovery=True)
+        server.put("/data/f.bin", b"version-1")
+        with pytest.raises(FileServerError):
+            server.filesystem.restore_version("/data/f.bin", index=5)

@@ -1,0 +1,92 @@
+"""Tests for SQL views surfaced through the XUIS and the portal."""
+
+import pytest
+
+from repro import EasiaApp, build_turbulence_archive
+from repro.xuis import generate_default_xuis, validate_xuis
+
+
+@pytest.fixture(scope="module")
+def archive():
+    base = build_turbulence_archive(n_simulations=2, timesteps=2, grid=8)
+    base.db.execute(
+        "CREATE VIEW SIMULATION_SUMMARY AS "
+        "SELECT s.SIMULATION_KEY AS skey, s.TITLE AS title, a.NAME AS author, "
+        "s.GRID_SIZE AS grid FROM SIMULATION s "
+        "JOIN AUTHOR a ON s.AUTHOR_KEY = a.AUTHOR_KEY"
+    )
+    return base
+
+
+class TestViewsInXuis:
+    def test_views_excluded_by_default(self, archive):
+        doc = generate_default_xuis(archive.db)
+        assert not doc.has_table("SIMULATION_SUMMARY")
+
+    def test_views_included_on_request(self, archive):
+        doc = generate_default_xuis(archive.db, include_views=True)
+        table = doc.table("SIMULATION_SUMMARY")
+        assert [c.name for c in table.columns] == [
+            "SKEY", "TITLE", "AUTHOR", "GRID",
+        ]
+        assert table.column("AUTHOR").type.name == "ANY"
+        assert table.alias == "Simulation Summary"
+
+    def test_view_samples_from_data(self, archive):
+        doc = generate_default_xuis(archive.db, include_views=True)
+        samples = doc.table("SIMULATION_SUMMARY").column("AUTHOR").samples
+        assert "Mark Papiani" in samples
+
+    def test_document_with_views_validates(self, archive):
+        doc = generate_default_xuis(archive.db, include_views=True)
+        assert validate_xuis(doc, archive.db) == []
+
+    def test_round_trips_through_xml(self, archive):
+        from repro.xuis import parse_xuis, serialize_xuis
+
+        doc = generate_default_xuis(archive.db, include_views=True)
+        again = parse_xuis(serialize_xuis(doc))
+        assert again.table("SIMULATION_SUMMARY").column("GRID").type.name == "ANY"
+
+
+class TestViewsInPortal:
+    @pytest.fixture(scope="class")
+    def app(self, archive, tmp_path_factory):
+        doc = generate_default_xuis(
+            archive.db, include_views=True,
+            title="UK Turbulence Consortium Archive",
+        )
+        engine = archive.make_engine(str(tmp_path_factory.mktemp("view-sb")))
+        return EasiaApp(archive.db, archive.linker, doc, archive.users, engine)
+
+    @pytest.fixture(scope="class")
+    def session(self, app):
+        return app.login("guest", "guest")
+
+    def test_view_listed_on_home(self, app, session):
+        assert "Simulation Summary" in app.get("/", session_id=session).text
+
+    def test_whole_view_browsable(self, app, session):
+        text = app.get(
+            "/table", {"name": "SIMULATION_SUMMARY"}, session_id=session
+        ).text
+        assert "2 row(s)" in text
+        assert "Mark Papiani" in text
+
+    def test_qbe_search_on_view(self, app, session):
+        text = app.get(
+            "/search",
+            {"table": "SIMULATION_SUMMARY", "show_TITLE": "on",
+             "show_AUTHOR": "on", "val_AUTHOR": "Mark%", "op_AUTHOR": "="},
+            session_id=session,
+        ).text
+        assert "1 row(s)" in text
+
+    def test_view_export(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "SIMULATION_SUMMARY", "show_SKEY": "on"},
+            session_id=session,
+        )
+        assert response.ok
+        assert response.body.decode().startswith("SKEY")

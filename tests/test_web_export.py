@@ -1,0 +1,122 @@
+"""Tests for the /export endpoint (CSV/XML result downloads)."""
+
+import csv
+import io
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import EasiaApp, build_turbulence_archive
+
+
+@pytest.fixture(scope="module")
+def app(tmp_path_factory):
+    archive = build_turbulence_archive(n_simulations=2, timesteps=2, grid=8)
+    engine = archive.make_engine(str(tmp_path_factory.mktemp("exp-sandbox")))
+    return EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+
+
+@pytest.fixture(scope="module")
+def session(app):
+    return app.login("guest", "guest")
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "SIMULATION", "show_SIMULATION_KEY": "on",
+             "show_TITLE": "on"},
+            session_id=session,
+        )
+        assert response.content_type == "text/csv"
+        reader = list(csv.reader(io.StringIO(response.body.decode())))
+        assert reader[0] == ["SIMULATION_KEY", "TITLE"]
+        assert len(reader) == 3  # header + 2 simulations
+
+    def test_restrictions_apply(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "RESULT_FILE", "show_FILE_NAME": "on",
+             "val_TIMESTEP": "0", "op_TIMESTEP": "="},
+            session_id=session,
+        )
+        lines = response.body.decode().strip().splitlines()
+        assert len(lines) == 3  # header + one ts0000 per simulation
+
+    def test_datalink_exported_as_plain_url(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "RESULT_FILE", "show_DOWNLOAD_RESULT": "on",
+             "limit": "1"},
+            session_id=session,
+        )
+        body = response.body.decode()
+        assert "http://fs" in body
+        assert ";" not in body.splitlines()[1]  # no access token leaked
+
+    def test_nulls_are_empty(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "CODE_FILE", "show_SIMULATION_KEY": "on", "limit": "1"},
+            session_id=session,
+        )
+        rows = list(csv.reader(io.StringIO(response.body.decode())))
+        assert rows[1] == [""]
+
+    def test_quoting(self, app, session):
+        app_db = app.db
+        app_db.execute(
+            "INSERT INTO AUTHOR VALUES ('AX', 'Comma, \"Quoted\"', NULL, NULL)"
+        )
+        response = app.get(
+            "/export",
+            {"table": "AUTHOR", "show_NAME": "on",
+             "val_AUTHOR_KEY": "AX", "op_AUTHOR_KEY": "="},
+            session_id=session,
+        )
+        rows = list(csv.reader(io.StringIO(response.body.decode())))
+        assert rows[1] == ['Comma, "Quoted"']
+
+
+class TestXmlExport:
+    def test_structure(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "SIMULATION", "show_TITLE": "on", "format": "xml"},
+            session_id=session,
+        )
+        assert response.content_type == "application/xml"
+        root = ET.fromstring(response.body)
+        assert root.tag == "resultset"
+        assert root.get("table") == "SIMULATION"
+        assert len(root.findall("row")) == 2
+        assert root.find("row/field").get("name") == "TITLE"
+
+
+class TestExportGuards:
+    def test_unknown_format(self, app, session):
+        response = app.get(
+            "/export",
+            {"table": "AUTHOR", "format": "pdf"},
+            session_id=session,
+        )
+        assert response.status == 400
+
+    def test_requires_login(self, app):
+        assert app.get("/export", {"table": "AUTHOR"}).status == 401
+
+    def test_hidden_columns_not_exportable(self, app, tmp_path):
+        from repro.xuis import Customizer
+
+        archive_doc = Customizer(app.document).hide_column("AUTHOR.EMAIL").document
+        app2 = EasiaApp(app.db, app.linker, archive_doc, app.users, app.engine)
+        session = app2.login("guest", "guest")
+        response = app2.get(
+            "/export",
+            {"table": "AUTHOR", "show_EMAIL": "on"},
+            session_id=session,
+        )
+        assert response.status == 400

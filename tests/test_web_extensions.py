@@ -1,0 +1,151 @@
+"""Tests for web-layer extensions: pagination and progress monitoring."""
+
+import pytest
+
+from repro import EasiaApp, build_turbulence_archive
+from repro.web.qbe import QbeQuery, Restriction
+
+
+@pytest.fixture(scope="module")
+def archive():
+    # enough result files to paginate: 4 sims x 6 timesteps = 24 rows
+    return build_turbulence_archive(n_simulations=4, timesteps=6, grid=8)
+
+
+@pytest.fixture(scope="module")
+def app(archive, tmp_path_factory):
+    engine = archive.make_engine(str(tmp_path_factory.mktemp("ext-sandbox")))
+    return EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+
+
+@pytest.fixture(scope="module")
+def session(app):
+    return app.login("guest", "guest")
+
+
+class TestQbeOffsetAndCount:
+    def test_offset_in_sql(self):
+        query = QbeQuery("T", limit=10, offset=20)
+        sql, _ = query.to_sql()
+        assert sql.endswith("LIMIT 10 OFFSET 20")
+
+    def test_count_sql_keeps_restrictions(self):
+        query = QbeQuery(
+            "T", restrictions=[Restriction("T.A", ">", 5)], limit=10,
+        )
+        sql, params = query.count_sql()
+        assert sql == "SELECT COUNT(*) FROM T WHERE T.A > ?"
+        assert params == (5,)
+
+    def test_count_sql_without_restrictions(self):
+        assert QbeQuery("T").count_sql() == ("SELECT COUNT(*) FROM T", ())
+
+
+class TestSearchPagination:
+    def _search(self, app, session, page=1, page_size=10):
+        return app.get(
+            "/search",
+            {"table": "RESULT_FILE", "show_FILE_NAME": "on",
+             "show_SIMULATION_KEY": "on", "page": page,
+             "page_size": page_size},
+            session_id=session,
+        )
+
+    def test_first_page_limited(self, app, session):
+        text = self._search(app, session).text
+        assert "10 row(s)" in text
+        assert "page 1 of 3 (24 rows)" in text
+        assert 'class="next"' in text
+        assert 'class="prev"' not in text
+
+    def test_middle_page_has_both_links(self, app, session):
+        text = self._search(app, session, page=2).text
+        assert 'class="next"' in text
+        assert 'class="prev"' in text
+
+    def test_last_page_short(self, app, session):
+        text = self._search(app, session, page=3).text
+        assert "4 row(s)" in text
+        assert 'class="next"' not in text
+
+    def test_pages_disjoint(self, app, session):
+        one = self._search(app, session, page=1).text
+        two = self._search(app, session, page=2).text
+        # the same (file, sim) pair never appears on two pages
+        import re
+
+        def keys(text):
+            return set(
+                re.findall(
+                    r'(ts\d{4}\.turb)</td><td><a class="fk" '
+                    r'href="[^"]*value=(S\d+)"',
+                    text,
+                )
+            )
+
+        assert keys(one) and keys(two)
+        assert not (keys(one) & keys(two))
+
+    def test_single_page_has_no_footer(self, app, session):
+        response = app.get(
+            "/search",
+            {"table": "AUTHOR", "show_NAME": "on"},
+            session_id=session,
+        )
+        assert "page 1 of" not in response.text
+
+    def test_explicit_limit_respected(self, app, session):
+        response = app.get(
+            "/search",
+            {"table": "RESULT_FILE", "show_FILE_NAME": "on", "limit": "3"},
+            session_id=session,
+        )
+        assert "3 row(s)" in response.text
+
+
+class TestProgressMonitoring:
+    def test_empty_initially(self, app):
+        fresh = app.login("turbulence", "consortium")
+        response = app.get("/operation/progress", session_id=fresh)
+        assert "no operations have run" in response.text
+
+    def test_stages_listed_after_invocation(self, app, archive):
+        session = app.login("turbulence", "consortium")
+        key = archive.simulation_keys[0]
+        app.post(
+            "/operation/run",
+            {"name": "FieldStats", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+             "key_FILE_NAME": "ts0000.turb", "key_SIMULATION_KEY": key},
+            session_id=session,
+        )
+        text = app.get("/operation/progress", session_id=session).text
+        for stage in ("resolve", "fetch", "unpack", "execute", "collect"):
+            assert stage in text
+        assert "FieldStats" in text
+
+    def test_sessions_isolated(self, app, archive):
+        watcher = app.login("turbulence", "consortium")
+        runner = app.login("turbulence", "consortium")
+        key = archive.simulation_keys[1]
+        app.post(
+            "/operation/run",
+            {"name": "FieldStats", "colid": "RESULT_FILE.DOWNLOAD_RESULT",
+             "key_FILE_NAME": "ts0001.turb", "key_SIMULATION_KEY": key},
+            session_id=runner,
+        )
+        watcher_view = app.get("/operation/progress", session_id=watcher)
+        assert "no operations have run" in watcher_view.text
+
+    def test_engine_event_api(self, archive, tmp_path):
+        engine = archive.make_engine(str(tmp_path / "sb"))
+        row = archive.result_rows()[0]
+        engine.invoke(
+            "FieldStats", "RESULT_FILE.DOWNLOAD_RESULT", row,
+            session_tag="tagged", use_cache=False,
+        )
+        events = engine.events_for_session("tagged")
+        assert [e[3] for e in events] == [
+            "resolve", "fetch", "unpack", "execute", "collect",
+        ]

@@ -1,0 +1,177 @@
+"""Tests for the WSGI adapter (real-HTTP deployment path)."""
+
+import io
+
+import pytest
+
+from repro import EasiaApp, build_turbulence_archive
+from repro.web.wsgi import WsgiAdapter, parse_multipart
+
+
+@pytest.fixture(scope="module")
+def adapter(tmp_path_factory):
+    archive = build_turbulence_archive(n_simulations=1, timesteps=1, grid=8)
+    engine = archive.make_engine(str(tmp_path_factory.mktemp("wsgi-sandbox")))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    return WsgiAdapter(app)
+
+
+def call(adapter, path, method="GET", query="", body=b"", content_type="",
+         cookie=""):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    environ = {
+        "PATH_INFO": path,
+        "REQUEST_METHOD": method,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": content_type,
+        "HTTP_COOKIE": cookie,
+        "wsgi.input": io.BytesIO(body),
+    }
+    chunks = adapter(environ, start_response)
+    captured["body"] = b"".join(chunks)
+    return captured
+
+
+class TestWsgiAdapter:
+    def test_login_form_get(self, adapter):
+        result = call(adapter, "/login")
+        assert result["status"] == "200 OK"
+        assert b"password" in result["body"]
+
+    def test_login_sets_cookie(self, adapter):
+        result = call(
+            adapter, "/login", method="POST",
+            body=b"username=guest&password=guest",
+            content_type="application/x-www-form-urlencoded",
+        )
+        assert result["status"] == "200 OK"
+        assert "Set-Cookie" in result["headers"]
+        assert result["headers"]["Set-Cookie"].startswith("easia_session=")
+
+    def _session_cookie(self, adapter) -> str:
+        result = call(
+            adapter, "/login", method="POST",
+            body=b"username=guest&password=guest",
+            content_type="application/x-www-form-urlencoded",
+        )
+        return result["headers"]["Set-Cookie"].split(";")[0]
+
+    def test_cookie_carries_session(self, adapter):
+        cookie = self._session_cookie(adapter)
+        result = call(adapter, "/", cookie=cookie)
+        assert result["status"] == "200 OK"
+        assert b"Turbulence" in result["body"]
+
+    def test_unauthenticated_is_401(self, adapter):
+        assert call(adapter, "/")["status"] == "401 Unauthorized"
+
+    def test_unknown_path_is_404(self, adapter):
+        cookie = self._session_cookie(adapter)
+        assert call(adapter, "/nope", cookie=cookie)["status"] == "404 Not Found"
+
+    def test_query_string_params(self, adapter):
+        cookie = self._session_cookie(adapter)
+        result = call(adapter, "/query", query="table=SIMULATION", cookie=cookie)
+        assert result["status"] == "200 OK"
+        assert b"GRID_SIZE" in result["body"]
+
+    def test_session_via_query_param(self, adapter):
+        cookie = self._session_cookie(adapter)
+        session_id = cookie.split("=", 1)[1]
+        result = call(adapter, "/", query=f"session={session_id}")
+        assert result["status"] == "200 OK"
+
+    def test_binary_response(self, adapter):
+        cookie = self._session_cookie(adapter)
+        result = call(
+            adapter, "/operation/run", method="POST",
+            body=(b"name=GetImage&colid=RESULT_FILE.DOWNLOAD_RESULT"
+                  b"&key_FILE_NAME=ts0000.turb"
+                  b"&key_SIMULATION_KEY=S19990110150000"
+                  b"&slice=x1&type=u"),
+            content_type="application/x-www-form-urlencoded",
+            cookie=cookie,
+        )
+        assert result["status"] == "200 OK"
+        assert result["headers"]["Content-Type"] == "image/x-portable-graymap"
+        assert result["body"].startswith(b"P5")
+
+    def test_multipart_upload_roundtrip(self, adapter):
+        # log in as a full user for upload rights
+        login = call(
+            adapter, "/login", method="POST",
+            body=b"username=turbulence&password=consortium",
+            content_type="application/x-www-form-urlencoded",
+        )
+        cookie = login["headers"]["Set-Cookie"].split(";")[0]
+
+        from repro.operations import pack_code_archive
+
+        code = pack_code_archive({
+            "Sz.py": b"data = open(INPUT_FILENAME,'rb').read()\n"
+                     b"out = open('sz.txt','w')\nout.write(str(len(data)))\nout.close()\n"
+        })
+        boundary = "XyZ123"
+        parts = []
+        for name, value in (
+            ("colid", "RESULT_FILE.DOWNLOAD_RESULT"),
+            ("class", "Sz"),
+            ("key_FILE_NAME", "ts0000.turb"),
+            ("key_SIMULATION_KEY", "S19990110150000"),
+        ):
+            parts.append(
+                f'--{boundary}\r\nContent-Disposition: form-data; '
+                f'name="{name}"\r\n\r\n{value}\r\n'.encode()
+            )
+        parts.append(
+            f'--{boundary}\r\nContent-Disposition: form-data; '
+            f'name="archive"; filename="code.jar"\r\n'
+            f"Content-Type: application/octet-stream\r\n\r\n".encode()
+            + code + b"\r\n"
+        )
+        parts.append(f"--{boundary}--\r\n".encode())
+        body = b"".join(parts)
+        result = call(
+            adapter, "/upload/run", method="POST", body=body,
+            content_type=f"multipart/form-data; boundary={boundary}",
+            cookie=cookie,
+        )
+        assert result["status"] == "200 OK"
+        assert result["body"].isdigit()
+
+
+class TestMultipartParser:
+    def test_fields_and_files(self):
+        boundary = "BBB"
+        body = (
+            b"--BBB\r\nContent-Disposition: form-data; name=\"a\"\r\n\r\n1\r\n"
+            b"--BBB\r\nContent-Disposition: form-data; name=\"f\"; "
+            b"filename=\"x.bin\"\r\n\r\n\x00\x01\r\n"
+            b"--BBB--\r\n"
+        )
+        fields, files = parse_multipart(
+            body, f"multipart/form-data; boundary={boundary}"
+        )
+        assert fields == {"a": "1"}
+        assert files == {"f": b"\x00\x01"}
+
+    def test_missing_boundary(self):
+        assert parse_multipart(b"x", "multipart/form-data") == ({}, {})
+
+    def test_quoted_boundary(self):
+        body = (
+            b"--q1\r\nContent-Disposition: form-data; name=\"k\"\r\n\r\nv\r\n"
+            b"--q1--\r\n"
+        )
+        fields, _files = parse_multipart(
+            body, 'multipart/form-data; boundary="q1"'
+        )
+        assert fields == {"k": "v"}
