@@ -1,16 +1,25 @@
 """Paper-vs-measured reporting for the benchmark harness.
 
-Benchmarks run under pytest's output capture; :func:`emit` writes straight
-to the real stdout so the regenerated tables appear in the
+Benchmarks run under pytest's output capture; the default :class:`Emitter`
+writes straight to the real stdout so the regenerated tables appear in the
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` transcript.
+
+Emission is injectable: :func:`set_emitter` installs a replacement (tests
+inject collectors), and every emitted line is mirrored into the
+observability event layer as a ``bench.emit`` event when a live
+:mod:`repro.obs` default is installed — so a benchmark run's tables are
+queryable alongside its metrics and traces.  :func:`set_writer` survives
+as a thin compatibility shim over :func:`set_emitter`.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
-__all__ = ["emit", "set_writer", "PaperTable"]
+from repro.obs import get_observability
+
+__all__ = ["emit", "set_writer", "set_emitter", "get_emitter", "Emitter", "PaperTable"]
 
 
 def _default_writer(text: str) -> None:
@@ -18,22 +27,46 @@ def _default_writer(text: str) -> None:
     sys.__stdout__.flush()
 
 
-_writer = _default_writer
+class Emitter:
+    """Writes benchmark lines and mirrors them into the obs event log."""
+
+    def __init__(self, writer: Callable[[str], None] | None = None) -> None:
+        self.writer = writer or _default_writer
+
+    def emit(self, text: str = "") -> None:
+        obs = get_observability()
+        if obs.enabled:
+            obs.events.emit("bench.emit", text=text)
+        self.writer(text)
 
 
-def set_writer(writer) -> None:
-    """Install the output function used by :func:`emit`.
+_emitter = Emitter()
+
+
+def get_emitter() -> Emitter:
+    return _emitter
+
+
+def set_emitter(emitter: Emitter) -> Emitter:
+    """Install the emitter used by :func:`emit`; returns the previous one."""
+    global _emitter
+    previous = _emitter
+    _emitter = emitter
+    return previous
+
+
+def set_writer(writer: Callable[[str], None]) -> None:
+    """Compatibility shim: wrap a bare writer function in an Emitter.
 
     The benchmarks' conftest points this at a pytest-capture-disabled
     printer so regenerated tables reach the terminal (and ``tee``).
     """
-    global _writer
-    _writer = writer
+    set_emitter(Emitter(writer))
 
 
 def emit(text: str = "") -> None:
-    """Print through the configured writer (un-captured stdout by default)."""
-    _writer(text)
+    """Print through the configured emitter (un-captured stdout by default)."""
+    _emitter.emit(text)
 
 
 class PaperTable:

@@ -9,7 +9,10 @@
 * ``xuis``      — generate the default XUIS for a database directory and
   print it,
 * ``table1``    — print the paper's Table 1 from the calibrated model,
-* ``demo``      — build the demo archive and print a summary.
+* ``demo``      — build the demo archive and print a summary,
+* ``obs``       — run an instrumented sample workload against the demo
+  archive and dump the observability snapshot (metrics, slow queries,
+  recent spans).
 
 The CLI is intentionally thin: every command is a few lines over the
 public library API, and doubles as executable documentation.
@@ -87,6 +90,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import EasiaApp
     from repro.web.wsgi import WsgiAdapter
 
+    if args.obs:
+        import repro.obs as obs_mod
+
+        obs_mod.enable()
     archive = _build_demo(args)
     engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-sandbox-"))
     app = EasiaApp(
@@ -150,6 +157,53 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Exercise the demo archive end to end with observability enabled,
+    then dump everything the obs layer collected."""
+    import tempfile
+
+    import repro.obs as obs_mod
+    from repro import EasiaApp
+
+    handle = obs_mod.enable(slow_query_seconds=args.slow_query_seconds)
+    archive = _build_demo(args)
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-obs-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    session = app.login("guest", "guest")
+    app.get("/", session_id=session)
+    app.get(
+        "/search",
+        {"table": "SIMULATION", "show_SIMULATION_KEY": "on",
+         "show_TITLE": "on"},
+        session_id=session,
+    )
+    app.get("/table", {"name": "RESULT_FILE"}, session_id=session)
+    archive.db.execute(
+        "SELECT COUNT(*) FROM RESULT_FILE WHERE SIMULATION_KEY IS NOT NULL"
+    )
+
+    print("=== metrics ===")
+    print(handle.metrics.render_text().rstrip("\n"))
+    stats = archive.db.statement_cache_stats
+    print(f"sql.statement_cache.hit_ratio {stats['hit_ratio']:.4f}")
+    slow = handle.slow_query.entries()
+    print(f"\n=== slow queries (>= {handle.slow_query.threshold_seconds}s): "
+          f"{len(slow)} ===")
+    for entry in slow:
+        print(f"{entry['elapsed'] * 1e3:8.2f} ms  {entry['sql']}")
+    spans = handle.tracer.snapshot()
+    print(f"\n=== spans ({len(spans)} recorded, newest last) ===")
+    shown = spans[-args.spans:] if args.spans > 0 else []
+    for span in shown:
+        indent = "  " if span["parent_id"] is not None else ""
+        print(f"{indent}{span['name']:24} {span['duration'] * 1e3:8.3f} ms  "
+              f"{span['attributes']}")
+    obs_mod.disable()
+    return 0
+
+
 def _add_demo_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--simulations", type=int, default=3)
     parser.add_argument("--timesteps", type=int, default=3)
@@ -173,6 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="serve the demo portal over HTTP")
     serve.add_argument("--host", default="")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--obs", action="store_true",
+                       help="enable observability (live /metrics and /trace)")
     _add_demo_options(serve)
     serve.set_defaults(fn=_cmd_serve)
 
@@ -187,6 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="build the demo archive and summarise it")
     _add_demo_options(demo)
     demo.set_defaults(fn=_cmd_demo)
+
+    obs = sub.add_parser(
+        "obs", help="run an instrumented sample workload and dump metrics"
+    )
+    obs.add_argument("--slow-query-seconds", type=float, default=0.001,
+                     help="slow-query log threshold (default 1 ms)")
+    obs.add_argument("--spans", type=int, default=20,
+                     help="how many recent spans to print")
+    _add_demo_options(obs)
+    obs.set_defaults(fn=_cmd_obs)
     return parser
 
 

@@ -24,6 +24,7 @@ from typing import Iterable
 
 from repro.errors import FileLinkError, FileNotFoundOnServer
 from repro.datalink.tokens import TokenManager
+from repro.obs import get_observability
 from repro.fileserver.server import FileServer
 from repro.sqldb.database import DatalinkHooks
 from repro.sqldb.med import DatalinkSpec
@@ -157,6 +158,7 @@ class DataLinker(DatalinkHooks):
         pending = self._pending.pop(txn_id, None)
         if pending is None:
             return
+        obs = get_observability()
         for kind, server, path, spec in pending.ops:
             if kind == "link":
                 server.dl_link(
@@ -166,9 +168,15 @@ class DataLinker(DatalinkHooks):
                     recovery=spec.recovery,
                 )
                 self.links_applied += 1
+                if obs.enabled:
+                    obs.metrics.counter("datalink.links_applied").inc()
+                    obs.events.emit("datalink.link", host=server.host, path=path)
             else:
                 server.dl_unlink(path, delete=spec.on_unlink == "DELETE")
                 self.unlinks_applied += 1
+                if obs.enabled:
+                    obs.metrics.counter("datalink.unlinks_applied").inc()
+                    obs.events.emit("datalink.unlink", host=server.host, path=path)
                 for listener in self.unlink_listeners:
                     listener(server.host, path)
 
@@ -192,7 +200,17 @@ class DataLinker(DatalinkHooks):
         """Fetch a (decorated) datalink value's bytes from its file server,
         presenting the embedded token if any."""
         server = self.server(value.host)
-        return server.serve(value.server_path, token=_scope_token(value))
+        obs = get_observability()
+        if not obs.enabled:
+            return server.serve(value.server_path, token=_scope_token(value))
+        with obs.tracer.span(
+            "datalink.download", host=value.host, path=value.server_path
+        ) as span:
+            data = server.serve(value.server_path, token=_scope_token(value))
+            span.set(nbytes=len(data))
+        obs.metrics.histogram("datalink.transfer_bytes").observe(len(data))
+        obs.metrics.counter("datalink.downloads").inc()
+        return data
 
     def recovery_manifest(self) -> list[tuple[str, str]]:
         """(host, path) of every linked file flagged RECOVERY YES."""

@@ -25,6 +25,7 @@ import time
 from typing import Callable
 
 from repro.errors import TokenError, TokenExpiredError
+from repro.obs import get_observability
 
 __all__ = ["TokenManager", "DEFAULT_VALIDITY_SECONDS"]
 
@@ -91,6 +92,10 @@ class TokenManager:
         expiry_hex = format(int(expiry * 1000), "x")
         signature = self._sign(scope, expiry_hex)
         self.issued_count += 1
+        obs = get_observability()
+        if obs.enabled:
+            obs.metrics.counter("datalink.tokens_issued").inc()
+            obs.events.emit("token.issue", scope=scope, expiry=expiry)
         return f"{expiry_hex}.{_b64(signature)}"
 
     def validate(self, scope: str, token: str) -> bool:
@@ -101,6 +106,7 @@ class TokenManager:
         returns True otherwise.
         """
         self.validated_count += 1
+        obs = get_observability()
         expiry_hex, sep, signature_text = token.partition(".")
         if not sep or not expiry_hex or not signature_text:
             raise TokenError("malformed token: expected <expiry>.<signature>")
@@ -111,11 +117,22 @@ class TokenManager:
         expected = self._sign(scope, expiry_hex)
         provided = _b64decode(signature_text)
         if not hmac.compare_digest(expected, provided):
+            if obs.enabled:
+                obs.metrics.counter("datalink.tokens_rejected").inc()
+                obs.events.emit("token.rejected", scope=scope)
             raise TokenError("token signature mismatch (forged or wrong file)")
         if self.now * 1000 > expiry_ms:
+            if obs.enabled:
+                obs.metrics.counter("datalink.tokens_expired").inc()
+                obs.events.emit(
+                    "token.expired", scope=scope, expiry=expiry_ms / 1000.0
+                )
             raise TokenExpiredError(
                 f"token for {scope} expired at t={expiry_ms / 1000:.3f}"
             )
+        if obs.enabled:
+            obs.metrics.counter("datalink.tokens_validated").inc()
+            obs.events.emit("token.validate", scope=scope)
         return True
 
     def remaining_validity(self, token: str) -> float:

@@ -19,6 +19,7 @@ import math
 
 from repro.errors import NetworkError
 from repro.netsim.bandwidth import BandwidthProfile
+from repro.obs import get_observability
 from repro.netsim.clock import SimClock
 from repro.netsim.topology import Network
 
@@ -145,7 +146,13 @@ class TransferEngine:
         raise NetworkError("transfer did not converge (bandwidth too low?)")
 
     def transfer(self, src: str, dst: str, nbytes: int, label: str = "") -> TransferRecord:
-        """Execute a transfer now: advances the clock and records it."""
+        """Execute a transfer now: advances the clock and records it.
+
+        Observability note: the exported span carries *simulated* start and
+        end times (the clock's seconds), not wall time — a benchmark that
+        simulates an hours-long ftp session traces as hours-long, instead
+        of the microseconds the arithmetic took.
+        """
         local = self.network.is_local(src, dst)
         seconds = self.duration(src, dst, nbytes)
         record = TransferRecord(
@@ -153,6 +160,18 @@ class TransferEngine:
         )
         self.clock.advance(seconds)
         self.records.append(record)
+        obs = get_observability()
+        if obs.enabled:
+            obs.tracer.record(
+                "netsim.transfer",
+                start=record.started_at,
+                end=record.started_at + seconds,
+                src=src, dst=dst, nbytes=nbytes, local=local,
+                label=label, clock="sim",
+            )
+            obs.metrics.histogram("netsim.transfer_bytes").observe(nbytes)
+            obs.metrics.counter("netsim.wan_bytes").inc(record.wide_area_bytes)
+            obs.metrics.counter("netsim.transfers").inc()
         return record
 
     # -- accounting ---------------------------------------------------------------

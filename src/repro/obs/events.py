@@ -1,0 +1,138 @@
+"""Structured event log and the slow-query log built on top of it.
+
+Events are plain dictionaries (``kind`` plus arbitrary fields, stamped
+with a sequence number and a timestamp) held in a bounded ring buffer.
+Optional *sinks* — callables receiving each event as it is emitted — let
+other layers mirror the stream: the benchmark reporter routes its table
+output through here, and tests attach list-appending sinks.
+
+The :class:`SlowQueryLog` is the classic operational tool the paper's
+production counterparts (XSA server statistics, SDAMS quick-look
+monitoring) treat as table stakes: any statement whose elapsed time
+crosses a configurable threshold is recorded with its SQL text, bound
+parameters and row counts, ready for ``/metrics``-style inspection.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["EventLog", "SlowQueryLog", "NullEventLog", "NullSlowQueryLog"]
+
+#: default ring-buffer capacity
+DEFAULT_CAPACITY = 1024
+
+#: default slow-query threshold, seconds (50 ms: generous for an in-memory
+#: engine, so only genuinely mis-planned statements surface)
+DEFAULT_SLOW_QUERY_SECONDS = 0.05
+
+
+class EventLog:
+    """Bounded, sink-fanning structured event stream."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        time_source: Callable[[], float] = time.time,
+    ) -> None:
+        self._time = time_source
+        self._seq = 0
+        self.ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: callables invoked with each event as it is emitted
+        self.sinks: list[Callable[[dict[str, Any]], None]] = []
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        self._seq += 1
+        event = {"seq": self._seq, "ts": self._time(), "kind": kind, **fields}
+        self.ring.append(event)
+        for sink in self.sinks:
+            sink(event)
+        return event
+
+    def add_sink(self, sink: Callable[[dict[str, Any]], None]) -> None:
+        self.sinks.append(sink)
+
+    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Retained events, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return list(self.ring)
+        return [e for e in self.ring if e["kind"] == kind]
+
+    def reset(self) -> None:
+        self.ring.clear()
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+
+class SlowQueryLog:
+    """Threshold-driven statement log feeding the shared event stream."""
+
+    def __init__(
+        self,
+        events: EventLog,
+        threshold_seconds: float = DEFAULT_SLOW_QUERY_SECONDS,
+    ) -> None:
+        self.events = events
+        self.threshold_seconds = threshold_seconds
+
+    def record(
+        self,
+        sql: str,
+        elapsed: float,
+        params: Any = None,
+        rows: int = 0,
+        rows_scanned: int = 0,
+    ) -> bool:
+        """Log the statement if it crossed the threshold; True when logged."""
+        if elapsed < self.threshold_seconds:
+            return False
+        self.events.emit(
+            "slow_query",
+            sql=sql,
+            elapsed=elapsed,
+            params=tuple(params) if params else (),
+            rows=rows,
+            rows_scanned=rows_scanned,
+        )
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        return self.events.events("slow_query")
+
+
+class NullEventLog:
+    """Disabled-mode event log."""
+
+    ring: deque = deque(maxlen=0)
+    sinks: list = []
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        return {}
+
+    def add_sink(self, sink) -> None:
+        pass
+
+    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+class NullSlowQueryLog:
+    """Disabled-mode slow-query log."""
+
+    threshold_seconds = float("inf")
+
+    def record(self, sql: str, elapsed: float, params: Any = None,
+               rows: int = 0, rows_scanned: int = 0) -> bool:
+        return False
+
+    def entries(self) -> list[dict[str, Any]]:
+        return []

@@ -1,0 +1,292 @@
+"""Metrics primitives: counters, gauges and histograms in a registry.
+
+Design constraints, in order:
+
+1. **Cheap on hot paths.**  A counter increment is one attribute add; a
+   histogram observation is a few float operations plus a bounded-deque
+   append.  When observability is globally disabled the shared null
+   instruments make every call a no-op attribute lookup.
+2. **Quantiles without dependencies.**  Histograms keep a sliding window
+   of recent observations (bounded ``deque``) and compute quantiles over
+   it on demand — exact for small workloads, a recency-weighted estimate
+   for long-running ones, and fully deterministic either way.
+3. **Introspectable.**  ``MetricsRegistry.snapshot()`` returns plain
+   dictionaries and ``render_text()`` emits a Prometheus-flavoured text
+   exposition, which the web layer's ``/metrics`` endpoint and the
+   ``repro obs`` CLI command serve verbatim.
+
+Instruments are keyed by name plus optional labels::
+
+    registry.counter("sql.statements", kind="SELECT").inc()
+    registry.histogram("http.request_seconds", path="/search").observe(dt)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+]
+
+#: histogram sliding-window size (recent observations kept for quantiles)
+DEFAULT_WINDOW = 1024
+
+
+def _metric_key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("key", "value")
+
+    kind = "counter"
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (or be computed on read)."""
+
+    __slots__ = ("key", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._value: float = 0.0
+        self._fn = None
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def set_function(self, fn) -> None:
+        """Pull-style gauge: ``fn()`` is evaluated at snapshot time."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Running aggregates plus a sliding window for quantile summaries."""
+
+    __slots__ = ("key", "count", "total", "min", "max", "_window")
+
+    kind = "histogram"
+
+    def __init__(self, key: str, window: int = DEFAULT_WINDOW) -> None:
+        self.key = key
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Quantile over the retained window (nearest-rank, linear
+        interpolation); 0.0 when nothing has been observed."""
+        if not self._window:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        ordered = sorted(self._window)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def summary(self, quantiles: Iterable[float] = (0.5, 0.9, 0.99)) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": 0.0 if self.count == 0 else self.max,
+        }
+        for q in quantiles:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.kind, **self.summary()}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        key = _metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every instrument's current state, keyed by full metric key."""
+        return {
+            key: metric.describe()
+            for key, metric in sorted(self._metrics.items())
+        }
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured exposition of the whole registry."""
+        lines: list[str] = []
+        for key, state in self.snapshot().items():
+            if state["type"] == "histogram":
+                for field, value in state.items():
+                    if field == "type":
+                        continue
+                    lines.append(f"{key}.{field} {value:g}")
+            else:
+                value = state["value"]
+                text = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"{key} {text}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+# -- no-op variants (global disabled mode) -------------------------------------
+
+
+class NullCounter:
+    __slots__ = ()
+    kind = "counter"
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set_function(self, fn) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self, quantiles: Iterable[float] = ()) -> dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Shared-singleton registry: every instrument is a no-op."""
+
+    def counter(self, name: str, **labels: Any) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: Any) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {}
+
+    def render_text(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,213 @@
+"""Context-managed tracing spans with an in-memory ring-buffer exporter.
+
+A :class:`Tracer` maintains a stack of open spans (the archive is an
+in-process, synchronous system — one request is on the stack at a time),
+so ``tracer.span(...)`` calls nest naturally: the span opened inside
+another becomes its child, sharing the root's ``trace_id``.
+
+Finished spans land in a bounded ring buffer (newest win), which the web
+layer's ``/trace`` endpoint and the ``repro obs`` CLI render from — no
+external collector required.
+
+Two clocks are supported:
+
+* the default ``time.perf_counter`` for real executions, and
+* :meth:`Tracer.record` for *externally timed* spans, which is how the
+  network simulator reports transfers in simulated seconds — benchmarks
+  running under :class:`repro.netsim.SimClock` trace correctly instead of
+  reporting the (near-zero) wall time of the simulation step.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+#: default ring-buffer capacity for finished spans
+DEFAULT_CAPACITY = 512
+
+
+class Span:
+    """One timed operation, possibly nested under a parent."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start", "end", "attributes", "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes or {}
+        self.status = "ok"
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    set_attribute = set
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration * 1e3:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Creates spans, tracks the open-span stack, exports to a ring buffer."""
+
+    def __init__(
+        self,
+        time_source: Callable[[], float] = time.perf_counter,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self._time = time_source
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.finished: deque[Span] = deque(maxlen=capacity)
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def _new_span(self, name: str, start: float, attrs: dict[str, Any]) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(
+            name,
+            trace_id=parent.trace_id if parent else span_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            start=start,
+            attributes=attrs,
+        )
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child of the current span for the duration of the block.
+
+        >>> tracer = Tracer()
+        >>> with tracer.span("outer") as outer:
+        ...     with tracer.span("inner") as inner:
+        ...         pass
+        >>> inner.parent_id == outer.span_id
+        True
+        """
+        span = self._new_span(name, self._time(), attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end = self._time()
+            self._stack.pop()
+            self.finished.append(span)
+
+    def record(self, name: str, start: float, end: float,
+               **attributes: Any) -> Span:
+        """Export an externally timed span (e.g. simulated-clock seconds
+        from :class:`repro.netsim.TransferEngine`) without touching the
+        open-span stack's timing."""
+        span = self._new_span(name, start, attributes)
+        span.end = end
+        self.finished.append(span)
+        return span
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Finished spans, oldest first, as plain dictionaries."""
+        return [span.describe() for span in self.finished]
+
+    def reset(self) -> None:
+        self.finished.clear()
+
+
+class _NullSpan:
+    """Shared do-nothing span — also its own context manager."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    status = "ok"
+    attributes: dict[str, Any] = {}
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    set_attribute = set
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled-mode tracer: spans cost two no-op calls."""
+
+    finished: deque = deque(maxlen=0)
+    current = None
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, start: float, end: float,
+               **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return []
+
+    def reset(self) -> None:
+        pass

@@ -32,6 +32,7 @@ from repro.errors import (
     OperationNotApplicable,
     XuisError,
 )
+from repro.obs import get_observability
 from repro.operations.batch import BatchScript, unpack_archive
 from repro.operations.cache import OperationCache
 from repro.operations.sandbox import Sandbox, SandboxPolicy
@@ -231,32 +232,50 @@ class OperationEngine:
             raise OperationError(
                 f"row has no DATALINK dataset in column {colid}"
             )
+        obs = get_observability()
         cache_key = self.cache.key(name, dataset.url, params)
         if use_cache:
             hit = self.cache.get(cache_key)
             if hit is not None:
                 self.stats.record_cache_hit(name)
+                if obs.enabled:
+                    obs.metrics.counter("operation.cache_hits").inc()
                 return OperationResult(
                     operation, dict(hit.outputs), hit.stdout,
                     dataset_bytes=hit.dataset_bytes, cached=True,
                 )
+            if obs.enabled:
+                obs.metrics.counter("operation.cache_misses").inc()
 
-        started = time.perf_counter()
-        self._progress(name, "fetch", dataset.url)
-        server = self.linker.server(dataset.host)
-        # The operation runs on the file-server host: the dataset is read
-        # locally, never shipped over the wide area.
-        data = server.filesystem.read(dataset.server_path)
+        with obs.tracer.span(
+            "operation.invoke", operation=name, dataset=dataset.url
+        ) as span:
+            started = time.perf_counter()
+            self._progress(name, "fetch", dataset.url)
+            server = self.linker.server(dataset.host)
+            # The operation runs on the file-server host: the dataset is read
+            # locally, never shipped over the wide area.
+            data = server.filesystem.read(dataset.server_path)
 
-        if isinstance(operation.location, UrlLocation):
-            result = self._invoke_url_service(operation, data, params, started)
-        else:
-            result = self._invoke_archived(
-                operation, dataset, data, params, session_tag, started
+            if isinstance(operation.location, UrlLocation):
+                result = self._invoke_url_service(operation, data, params, started)
+            else:
+                result = self._invoke_archived(
+                    operation, dataset, data, params, session_tag, started
+                )
+            span.set(
+                dataset_bytes=result.dataset_bytes,
+                output_bytes=result.output_bytes,
             )
         self.stats.record(
             name, result.elapsed, result.dataset_bytes, result.output_bytes
         )
+        if obs.enabled:
+            obs.metrics.counter("operation.invocations", operation=name).inc()
+            obs.metrics.histogram("operation.seconds").observe(result.elapsed)
+            obs.metrics.histogram("operation.output_bytes").observe(
+                result.output_bytes
+            )
         if use_cache:
             self.cache.put(cache_key, result)
         return result
@@ -303,13 +322,16 @@ class OperationEngine:
                 workdir, code_link.filename, entry_name, dataset.filename
             )
             self._progress(operation.name, "execute", entry_name)
-            sandbox_result = self.sandbox.run_source(
-                source,
-                workdir,
-                dataset.filename,
-                params,
-                policy=SandboxPolicy.for_operations(),
-            )
+            with get_observability().tracer.span(
+                "operation.sandbox", operation=operation.name, entry=entry_name
+            ):
+                sandbox_result = self.sandbox.run_source(
+                    source,
+                    workdir,
+                    dataset.filename,
+                    params,
+                    policy=SandboxPolicy.for_operations(),
+                )
             self._progress(operation.name, "collect")
             return OperationResult(
                 operation,

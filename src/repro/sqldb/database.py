@@ -17,6 +17,8 @@ recovery + checkpoints), or with no arguments for an in-memory database.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Iterator, Sequence
 
 from repro.errors import (
@@ -48,6 +50,7 @@ from repro.sqldb.parser.ast_nodes import (
     UnionStmt,
     UpdateStmt,
 )
+from repro.obs import get_observability
 from repro.sqldb.expressions import ColumnRef, truthy
 from repro.sqldb.schema import TableSchema
 from repro.sqldb.storage import HashIndex, SortedIndex
@@ -133,13 +136,22 @@ class Database:
     1
     """
 
-    def __init__(self, directory: str | None = None, sync: bool = False) -> None:
+    #: statement-cache capacity (entries); evicted least-recently-used
+    STATEMENT_CACHE_SIZE = 512
+
+    def __init__(self, directory: str | None = None, sync: bool = False,
+                 obs=None) -> None:
         self.catalog = Catalog()
         self._executor = Executor(self.catalog)
         self._wal = WriteAheadLog(directory, sync=sync) if directory else None
         self._txns = TransactionManager(self.catalog, self._wal)
         self._hooks: DatalinkHooks = DatalinkHooks()
-        self._statement_cache: dict[str, Statement] = {}
+        self._statement_cache: OrderedDict[str, Statement] = OrderedDict()
+        self.statement_cache_hits = 0
+        self.statement_cache_misses = 0
+        #: explicit observability bundle; None means "use the process-wide
+        #: default at call time" (a no-op unless repro.obs.enable() ran)
+        self._obs = obs
         #: identity of the requesting user, consulted when issuing tokens
         self.current_user: str | None = None
         if self._wal is not None:
@@ -158,29 +170,106 @@ class Database:
     # -- execution -----------------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Parse (with caching) and execute one statement."""
-        stmt = self._statement_cache.get(sql)
+        """Parse (with LRU caching) and execute one statement."""
+        cache = self._statement_cache
+        stmt = cache.get(sql)
         if stmt is None:
+            self.statement_cache_misses += 1
             stmt = parse_sql(sql)
-            if len(self._statement_cache) > 512:
-                self._statement_cache.clear()
-            self._statement_cache[sql] = stmt
-        return self.execute_statement(stmt, params, sql=sql)
+            if len(cache) >= self.STATEMENT_CACHE_SIZE:
+                cache.popitem(last=False)
+            cache[sql] = stmt
+        else:
+            self.statement_cache_hits += 1
+            cache.move_to_end(sql)
+        obs = self._obs or get_observability()
+        if not obs.enabled:  # skip the instrumentation wrapper entirely
+            return self._dispatch_statement(stmt, params, sql)
+        return self._execute_instrumented(obs, stmt, params, sql)
 
-    def execute_script(self, sql: str) -> list[Result]:
-        """Execute a ``;``-separated script, returning per-statement results."""
-        from repro.sqldb.parser import parse_script
+    @property
+    def statement_cache_stats(self) -> dict[str, float]:
+        """Hit/miss/size counters plus the derived hit ratio."""
+        hits, misses = self.statement_cache_hits, self.statement_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": len(self._statement_cache),
+            "hit_ratio": hits / total if total else 0.0,
+        }
 
-        return [self.execute_statement(s) for s in parse_script(sql)]
+    def execute_script(self, sql: str, params: Sequence[Any] = ()) -> list[Result]:
+        """Execute a ``;``-separated script, returning per-statement results.
+
+        Each statement keeps its own slice of the script text, so tracing
+        and the slow-query log attribute work to real SQL; placeholders are
+        numbered across the whole script, so one ``params`` sequence serves
+        every statement.
+        """
+        from repro.sqldb.parser import parse_script_with_sql
+
+        return [
+            self.execute_statement(stmt, params, sql=text)
+            for stmt, text in parse_script_with_sql(sql)
+        ]
 
     def execute_statement(
         self, stmt: Statement, params: Sequence[Any] = (), sql: str | None = None
+    ) -> Result:
+        obs = self._obs or get_observability()
+        if not obs.enabled:
+            return self._dispatch_statement(stmt, params, sql)
+        return self._execute_instrumented(obs, stmt, params, sql)
+
+    def _execute_instrumented(
+        self,
+        obs,
+        stmt: Statement,
+        params: Sequence[Any],
+        sql: str | None,
+    ) -> Result:
+        kind = type(stmt).__name__.removesuffix("Stmt").upper()
+        scanned_before = self._executor.rows_scanned
+        with obs.tracer.span(
+            "sql.statement", statement=kind, sql=sql or f"<{kind}>"
+        ) as span:
+            started = perf_counter()
+            result = self._dispatch_statement(stmt, params, sql)
+            elapsed = perf_counter() - started
+        scanned = self._executor.rows_scanned - scanned_before
+        span.set(
+            elapsed=elapsed,
+            rows=len(result.rows) or result.rowcount,
+            rows_scanned=scanned,
+        )
+        metrics = obs.metrics
+        metrics.counter("sql.statements", kind=kind).inc()
+        metrics.counter("sql.rows_returned").inc(len(result.rows))
+        metrics.counter("sql.rows_scanned").inc(scanned)
+        metrics.histogram("sql.statement_seconds").observe(elapsed)
+        metrics.counter("sql.statement_cache.hits").value = (
+            self.statement_cache_hits
+        )
+        metrics.counter("sql.statement_cache.misses").value = (
+            self.statement_cache_misses
+        )
+        obs.slow_query.record(
+            sql or f"<{kind}>", elapsed, params=params,
+            rows=len(result.rows) or result.rowcount, rows_scanned=scanned,
+        )
+        return result
+
+    def _dispatch_statement(
+        self, stmt: Statement, params: Sequence[Any], sql: str | None
     ) -> Result:
         if isinstance(stmt, SelectStmt):
             return self._execute_select(stmt, params)
         if isinstance(stmt, UnionStmt):
             return self._execute_union(stmt, params)
         if isinstance(stmt, ExplainStmt):
+            if stmt.analyze:
+                return self._execute_explain_analyze(stmt, params)
             result = self._executor.execute_select(stmt.select, params)
             return Result(
                 ["PLAN"], [(step,) for step in result.plan],
@@ -260,6 +349,29 @@ class Database:
             raise SqlSyntaxError("EXPLAIN supports SELECT only")
         result = self._executor.execute_select(stmt, params)
         return render(result.plan)
+
+    def _execute_explain_analyze(self, stmt: ExplainStmt,
+                                 params: Sequence[Any]) -> Result:
+        """EXPLAIN ANALYZE: run the SELECT and annotate every plan step
+        with the rows it produced and its measured (cumulative) time."""
+        started = perf_counter()
+        result = self._executor.execute_select(stmt.select, params, analyze=True)
+        total = perf_counter() - started
+        rows: list[tuple] = []
+        stats = result.step_stats or {}
+        for i, step in enumerate(result.plan):
+            timing = stats.get(i)
+            if timing is not None:
+                rows.append((
+                    f"{step} [rows={timing.rows}, "
+                    f"{timing.seconds * 1e3:.3f} ms cumulative]",
+                ))
+            else:
+                rows.append((step,))
+        rows.append((
+            f"total: {len(result.rows)} row(s) in {total * 1e3:.3f} ms",
+        ))
+        return Result(["PLAN"], rows, rowcount=len(rows))
 
     # -- DDL -----------------------------------------------------------------------
 

@@ -10,7 +10,8 @@ expression engine.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import CatalogError, SqlSyntaxError
 from repro.sqldb.expressions import (
@@ -40,6 +41,7 @@ class SelectResult:
         plan: list[str],
         items: list[SelectItem] | None = None,
         alias_tables: dict[str, str] | None = None,
+        step_stats: "dict[int, _StepStats] | None" = None,
     ) -> None:
         self.columns = columns
         self.rows = rows
@@ -51,6 +53,37 @@ class SelectResult:
         self.items = items or []
         #: FROM-clause alias -> real table name
         self.alias_tables = alias_tables or {}
+        #: plan-index -> measured rows/seconds, populated by EXPLAIN ANALYZE
+        self.step_stats = step_stats
+
+
+class _StepStats:
+    """Measured output of one plan step under EXPLAIN ANALYZE.
+
+    ``seconds`` is cumulative: pulling a row from step N drives every step
+    upstream of it, so each entry reports the time spent producing that
+    step's output including its inputs."""
+
+    __slots__ = ("rows", "seconds")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.seconds = 0.0
+
+
+def _timed_iter(iterator: Iterator, stats: _StepStats) -> Iterator:
+    """Count rows and accumulate the time spent inside ``next()``."""
+    iterator = iter(iterator)
+    while True:
+        started = perf_counter()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            stats.seconds += perf_counter() - started
+            return
+        stats.seconds += perf_counter() - started
+        stats.rows += 1
+        yield item
 
 
 class _BoundTable:
@@ -71,20 +104,42 @@ class Executor:
     def __init__(self, catalog) -> None:
         self._catalog = catalog
         self._expanding_views: set[str] = set()
+        #: lifetime count of rows examined by scans and lookups (including
+        #: view materialisation and subqueries); the database layer
+        #: snapshots deltas around each statement for metrics
+        self.rows_scanned = 0
 
     # -- public ----------------------------------------------------------------
 
-    def execute_select(self, stmt: SelectStmt, params: Sequence[Any] = ()) -> SelectResult:
+    def execute_select(
+        self, stmt: SelectStmt, params: Sequence[Any] = (),
+        analyze: bool = False,
+    ) -> SelectResult:
         self.bind_subqueries(self._statement_expressions(stmt), params)
         bound = self._bind_tables(stmt)
         plan: list[str] = []
+        step_stats: dict[int, _StepStats] | None = None
+        instrument: Callable[[Iterator[dict]], Iterator[dict]] | None = None
+        if analyze:
+            step_stats = {}
+
+            def instrument(envs: Iterator[dict]) -> Iterator[dict]:
+                """Attach a timing probe to the plan entry appended last."""
+                stats = _StepStats()
+                step_stats[len(plan) - 1] = stats
+                return _timed_iter(envs, stats)
+
         if bound:
             unambiguous = self._unambiguous_columns(bound)
-            envs = self._produce_envs(stmt, bound, unambiguous, params, plan)
+            envs = self._produce_envs(
+                stmt, bound, unambiguous, params, plan, instrument
+            )
         else:
             # SELECT without FROM: a single empty environment.
             envs = iter([{}])
             plan.append("no FROM clause: single empty row")
+            if instrument is not None:
+                envs = instrument(envs)
 
         where_conjuncts = conjuncts(stmt.where)
         if stmt.where is not None:
@@ -117,6 +172,8 @@ class Executor:
             plan.append(
                 f"hash aggregate on {len(stmt.group_by)} grouping expression(s)"
             )
+            if instrument is not None:
+                envs = instrument(envs)
         elif stmt.having is not None:
             raise SqlSyntaxError("HAVING requires GROUP BY or aggregates")
 
@@ -170,7 +227,9 @@ class Executor:
         if stmt.limit is not None:
             rows = rows[: stmt.limit]
         alias_tables = {b.alias: b.schema.name for b in bound}
-        return SelectResult(columns, rows, plan, items, alias_tables)
+        return SelectResult(
+            columns, rows, plan, items, alias_tables, step_stats=step_stats
+        )
 
     # -- subquery materialisation ---------------------------------------------
 
@@ -279,6 +338,7 @@ class Executor:
         unambiguous: dict[str, str],
         params: Sequence[Any],
         plan: list[str],
+        instrument: Callable[[Iterator[dict]], Iterator[dict]] | None = None,
     ) -> Iterator[dict]:
         where_conjuncts = conjuncts(stmt.where)
         equalities = constant_equalities(where_conjuncts, params)
@@ -295,9 +355,13 @@ class Executor:
         first = bound[0]
         base_rows = self._access_path(first, equalities, plan)
         envs: Iterator[dict] = (env_for(first, row) for row in base_rows)
+        if instrument is not None:
+            envs = instrument(envs)
 
         for entry in bound[1:]:
             envs = self._join_one(entry, envs, env_for, equalities, params, plan)
+            if instrument is not None:
+                envs = instrument(envs)
         return envs
 
     def _access_path(
@@ -340,8 +404,11 @@ class Executor:
                     f"({', '.join(best.columns)} = {key!r})"
                 )
                 rowids = best.find(key)
-                return iter([entry.table.row(rowid) for rowid in rowids])
+                rows = [entry.table.row(rowid) for rowid in rowids]
+                self.rows_scanned += len(rows)
+                return iter(rows)
         plan.append(f"seq scan {entry.alias} ({len(entry.table)} rows)")
+        self.rows_scanned += len(entry.table)
         return (row for _rowid, row in entry.table.scan())
 
     def _join_one(
@@ -386,6 +453,7 @@ class Executor:
                     )
                 else:
                     candidates = inner_rows
+                self.rows_scanned += len(candidates)
                 for row in candidates:
                     env = {**outer_env, **env_for(entry, row)}
                     if entry.join_on is not None and not truthy(

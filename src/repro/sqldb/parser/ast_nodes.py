@@ -194,10 +194,13 @@ class SelectStmt(Statement):
 
 
 class ExplainStmt(Statement):
-    """``EXPLAIN SELECT ...`` — returns the chosen access paths as rows."""
+    """``EXPLAIN [ANALYZE] SELECT ...`` — returns the chosen access paths
+    as rows; with ANALYZE the query runs and each step reports measured
+    row counts and timings."""
 
-    def __init__(self, select: "SelectStmt") -> None:
+    def __init__(self, select: "SelectStmt", analyze: bool = False) -> None:
         self.select = select
+        self.analyze = analyze
 
 
 class UnionStmt(Statement):

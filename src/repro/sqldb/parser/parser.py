@@ -107,14 +107,27 @@ def parse_sql(sql: str) -> Statement:
 
 def parse_script(sql: str) -> list[Statement]:
     """Parse a ``;``-separated script into a statement list."""
+    return [stmt for stmt, _text in parse_script_with_sql(sql)]
+
+
+def parse_script_with_sql(sql: str) -> list[tuple[Statement, str]]:
+    """Parse a script into ``(statement, source_text)`` pairs.
+
+    The text slice covers the statement without its terminating ``;``, so
+    tracing and slow-query logging can attribute script statements to the
+    SQL that produced them.
+    """
     parser = _Parser(sql)
-    statements = []
+    out: list[tuple[Statement, str]] = []
     while not parser.at_eof():
-        statements.append(parser.parse_statement())
+        start = parser.peek().position
+        stmt = parser.parse_statement()
+        end = parser.peek().position if not parser.at_eof() else len(sql)
+        out.append((stmt, sql[start:end].strip()))
         if not parser.accept_op(";"):
             break
     parser.expect_eof()
-    return statements
+    return out
 
 
 class _Parser:
@@ -203,10 +216,11 @@ class _Parser:
             return self._parse_select_or_union()
         if head == "EXPLAIN":
             self.advance()
+            analyze = self.accept_kw("ANALYZE")
             inner = self.parse_statement()
             if not isinstance(inner, SelectStmt):
                 raise self.error("EXPLAIN supports SELECT only")
-            return ExplainStmt(inner)
+            return ExplainStmt(inner, analyze=analyze)
         if head in ("BEGIN", "START"):
             self.advance()
             self.accept_kw("TRANSACTION") or self.accept_kw("WORK")

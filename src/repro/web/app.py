@@ -19,6 +19,8 @@ path                        behaviour
 ``/operation/run``          sandboxed server-side execution, results shipped
 ``/upload/form``/``run``    code upload for secure server-side execution
 ``/stats``                  operation statistics ("for benefit of future users")
+``/metrics``                live metrics registry (text exposition)
+``/trace``                  recent spans from the tracing ring buffer
 ``/admin/users``            web-based user management (admin only)
 ==========================  ====================================================
 
@@ -158,6 +160,8 @@ class EasiaApp:
         container.register("/export", self._export)
         container.register("/operation/progress", self._operation_progress)
         container.register("/stats", self._stats)
+        container.register("/metrics", self._metrics)
+        container.register("/trace", self._trace)
         container.register("/admin/users", self._admin_users)
         container.register("/admin/xuis", self._admin_xuis)
 
@@ -540,6 +544,63 @@ class EasiaApp:
         return Response.html(
             page("Operation statistics", f"<ul>{items or '<li>none yet</li>'}</ul>")
         )
+
+    def _metrics(self, request: Request) -> Response:
+        """Text exposition of the live metrics registry, plus engine-level
+        cache statistics (Prometheus-flavoured, one metric per line)."""
+        request.require_user()
+        from repro.obs import get_observability
+
+        obs = get_observability()
+        lines = [obs.metrics.render_text().rstrip("\n")] if obs.enabled else []
+        stats = self.db.statement_cache_stats
+        lines.append(f"sql.statement_cache.entries {stats['entries']}")
+        lines.append(f"sql.statement_cache.hit_ratio {stats['hit_ratio']:.4f}")
+        cache = self.engine.cache
+        lines.append(f"operation.cache.hits {cache.hits}")
+        lines.append(f"operation.cache.misses {cache.misses}")
+        lines.append(f"operation.cache.stored_bytes {cache.stored_bytes}")
+        lines.append(f"datalink.links_applied.total {self.linker.links_applied}")
+        lines.append(f"datalink.unlinks_applied.total {self.linker.unlinks_applied}")
+        lines.append(f"datalink.tokens_issued.total {self.linker.tokens.issued_count}")
+        body = "\n".join(line for line in lines if line) + "\n"
+        return Response.data(body.encode("utf-8"), "text/plain")
+
+    def _trace(self, request: Request) -> Response:
+        """Recent spans from the tracer's ring buffer, newest last, with
+        indentation following parent/child nesting inside each trace."""
+        request.require_user()
+        from repro.obs import get_observability
+
+        obs = get_observability()
+        spans = obs.tracer.snapshot()
+        if not spans:
+            return Response.html(
+                page("Trace", "<p>no spans recorded (is observability "
+                              "enabled? see repro.obs.enable)</p>")
+            )
+        depths: dict[int, int] = {}
+        rows = []
+        for span in spans:
+            parent = span["parent_id"]
+            depth = depths.get(parent, -1) + 1 if parent is not None else 0
+            depths[span["span_id"]] = depth
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in sorted(span["attributes"].items())
+            )
+            rows.append(
+                f"<tr><td>{span['trace_id']}</td>"
+                f"<td style=\"padding-left:{depth}em\">{escape(span['name'])}</td>"
+                f"<td>{span['duration'] * 1e3:.3f} ms</td>"
+                f"<td>{escape(span['status'])}</td>"
+                f"<td>{escape(attrs)}</td></tr>"
+            )
+        body = (
+            '<table border="1"><tr><th>trace</th><th>span</th>'
+            "<th>duration</th><th>status</th><th>attributes</th></tr>"
+            + "".join(rows) + "</table>"
+        )
+        return Response.html(page("Trace", body))
 
     def _admin_users(self, request: Request) -> Response:
         user = request.require_user()

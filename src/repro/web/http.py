@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import html
 import secrets
+from time import perf_counter
 from typing import Any, Callable, Mapping
 
 from repro.errors import AuthenticationError, RoutingError, WebError
+from repro.obs import get_observability
 
 __all__ = [
     "Request",
@@ -239,7 +241,41 @@ class ServletContainer:
         session_id: str | None = None,
         files: Mapping[str, bytes] | None = None,
     ) -> Response:
-        """Route one request, converting errors into HTTP-ish responses."""
+        """Route one request, converting errors into HTTP-ish responses.
+
+        Every dispatch reports through the observability layer (when
+        enabled): an ``http.request`` span plus per-route latency
+        histograms and status counters.
+        """
+        obs = get_observability()
+        if not obs.enabled:
+            return self._dispatch_inner(path, params, method, session_id, files)
+        with obs.tracer.span("http.request", path=path, method=method) as span:
+            started = perf_counter()
+            response = self._dispatch_inner(
+                path, params, method, session_id, files
+            )
+            elapsed = perf_counter() - started
+            span.set(status=response.status, elapsed=elapsed)
+        obs.metrics.counter(
+            "http.requests", path=path, status=response.status
+        ).inc()
+        obs.metrics.histogram("http.request_seconds", path=path).observe(elapsed)
+        if response.status >= 500:
+            obs.events.emit(
+                "http.error", path=path, status=response.status,
+                detail=response.text[:200],
+            )
+        return response
+
+    def _dispatch_inner(
+        self,
+        path: str,
+        params: Mapping[str, Any] | None,
+        method: str,
+        session_id: str | None,
+        files: Mapping[str, bytes] | None,
+    ) -> Response:
         from repro.errors import (
             AuthorizationError,
             OperationError,
