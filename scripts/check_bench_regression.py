@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage:
+    python scripts/check_bench_regression.py BASELINE CURRENT [--max-ratio 2.0]
+
+Benchmarks whose name contains one of the guarded keywords (point lookups
+and joins — the planner's hot paths) fail the check when their median
+exceeds ``max-ratio`` times the baseline median.  Other benchmarks are
+reported but never fail: absolute CI-runner speed varies, so only the
+guarded set is enforced, and only by ratio.
+
+Exit status: 0 when every guarded benchmark holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: benchmarks whose median regressing past the ratio fails the gate
+GUARDED_KEYWORDS = ("lookup", "join")
+
+
+def load_medians(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument(
+        "--max-ratio", type=float, default=2.0,
+        help="fail when current/baseline median exceeds this (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+
+    failures: list[str] = []
+    for name, median in sorted(current.items()):
+        reference = baseline.get(name)
+        if reference is None or reference <= 0.0:
+            print(f"  new       {name}: {median * 1e6:.1f} us (no baseline)")
+            continue
+        ratio = median / reference
+        guarded = any(keyword in name.lower() for keyword in GUARDED_KEYWORDS)
+        status = "ok"
+        if ratio > args.max_ratio and guarded:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: median {median * 1e6:.1f} us vs baseline "
+                f"{reference * 1e6:.1f} us ({ratio:.2f}x > {args.max_ratio}x)"
+            )
+        elif ratio > args.max_ratio:
+            status = "slower (unguarded)"
+        print(
+            f"  {status:<18} {name}: {median * 1e6:.1f} us "
+            f"({ratio:.2f}x baseline)"
+        )
+
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"  missing   {name}: present in baseline but not in this run")
+
+    if failures:
+        print("\nperformance regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nperformance regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

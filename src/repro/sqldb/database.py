@@ -169,8 +169,15 @@ class Database:
 
     # -- execution -----------------------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Parse (with LRU caching) and execute one statement."""
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                pushdown: bool = True) -> Result:
+        """Parse (with LRU caching) and execute one statement.
+
+        ``pushdown=False`` disables the cost-aware planner (predicate
+        pushdown, hash joins, range scans, Top-N) and runs the naive
+        nested-loop / filter-at-the-end path — the escape hatch the
+        differential tests compare against.
+        """
         cache = self._statement_cache
         stmt = cache.get(sql)
         if stmt is None:
@@ -184,8 +191,8 @@ class Database:
             cache.move_to_end(sql)
         obs = self._obs or get_observability()
         if not obs.enabled:  # skip the instrumentation wrapper entirely
-            return self._dispatch_statement(stmt, params, sql)
-        return self._execute_instrumented(obs, stmt, params, sql)
+            return self._dispatch_statement(stmt, params, sql, pushdown)
+        return self._execute_instrumented(obs, stmt, params, sql, pushdown)
 
     @property
     def statement_cache_stats(self) -> dict[str, float]:
@@ -215,12 +222,13 @@ class Database:
         ]
 
     def execute_statement(
-        self, stmt: Statement, params: Sequence[Any] = (), sql: str | None = None
+        self, stmt: Statement, params: Sequence[Any] = (),
+        sql: str | None = None, pushdown: bool = True,
     ) -> Result:
         obs = self._obs or get_observability()
         if not obs.enabled:
-            return self._dispatch_statement(stmt, params, sql)
-        return self._execute_instrumented(obs, stmt, params, sql)
+            return self._dispatch_statement(stmt, params, sql, pushdown)
+        return self._execute_instrumented(obs, stmt, params, sql, pushdown)
 
     def _execute_instrumented(
         self,
@@ -228,14 +236,17 @@ class Database:
         stmt: Statement,
         params: Sequence[Any],
         sql: str | None,
+        pushdown: bool = True,
     ) -> Result:
         kind = type(stmt).__name__.removesuffix("Stmt").upper()
         scanned_before = self._executor.rows_scanned
+        pushed_before = self._executor.pushdown_filtered
+        hashed_before = self._executor.hash_build_rows
         with obs.tracer.span(
             "sql.statement", statement=kind, sql=sql or f"<{kind}>"
         ) as span:
             started = perf_counter()
-            result = self._dispatch_statement(stmt, params, sql)
+            result = self._dispatch_statement(stmt, params, sql, pushdown)
             elapsed = perf_counter() - started
         scanned = self._executor.rows_scanned - scanned_before
         span.set(
@@ -247,6 +258,12 @@ class Database:
         metrics.counter("sql.statements", kind=kind).inc()
         metrics.counter("sql.rows_returned").inc(len(result.rows))
         metrics.counter("sql.rows_scanned").inc(scanned)
+        pushed = self._executor.pushdown_filtered - pushed_before
+        if pushed:
+            metrics.counter("sqldb.scan.pushdown_filtered").inc(pushed)
+        hashed = self._executor.hash_build_rows - hashed_before
+        if hashed:
+            metrics.counter("sqldb.join.hash_build_rows").inc(hashed)
         metrics.histogram("sql.statement_seconds").observe(elapsed)
         metrics.counter("sql.statement_cache.hits").value = (
             self.statement_cache_hits
@@ -261,16 +278,19 @@ class Database:
         return result
 
     def _dispatch_statement(
-        self, stmt: Statement, params: Sequence[Any], sql: str | None
+        self, stmt: Statement, params: Sequence[Any], sql: str | None,
+        pushdown: bool = True,
     ) -> Result:
         if isinstance(stmt, SelectStmt):
-            return self._execute_select(stmt, params)
+            return self._execute_select(stmt, params, pushdown)
         if isinstance(stmt, UnionStmt):
-            return self._execute_union(stmt, params)
+            return self._execute_union(stmt, params, pushdown)
         if isinstance(stmt, ExplainStmt):
             if stmt.analyze:
-                return self._execute_explain_analyze(stmt, params)
-            result = self._executor.execute_select(stmt.select, params)
+                return self._execute_explain_analyze(stmt, params, pushdown)
+            result = self._executor.execute_select(
+                stmt.select, params, optimize=pushdown
+            )
             return Result(
                 ["PLAN"], [(step,) for step in result.plan],
                 rowcount=len(result.plan),
@@ -340,22 +360,26 @@ class Database:
         """
         return _TransactionContext(self)
 
-    def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
+    def explain(self, sql: str, params: Sequence[Any] = (),
+                pushdown: bool = True) -> str:
         """Access-path description for a SELECT (tests pin index usage)."""
         from repro.sqldb.planner import explain as render
 
         stmt = parse_sql(sql)
         if not isinstance(stmt, SelectStmt):
             raise SqlSyntaxError("EXPLAIN supports SELECT only")
-        result = self._executor.execute_select(stmt, params)
+        result = self._executor.execute_select(stmt, params, optimize=pushdown)
         return render(result.plan)
 
     def _execute_explain_analyze(self, stmt: ExplainStmt,
-                                 params: Sequence[Any]) -> Result:
+                                 params: Sequence[Any],
+                                 pushdown: bool = True) -> Result:
         """EXPLAIN ANALYZE: run the SELECT and annotate every plan step
         with the rows it produced and its measured (cumulative) time."""
         started = perf_counter()
-        result = self._executor.execute_select(stmt.select, params, analyze=True)
+        result = self._executor.execute_select(
+            stmt.select, params, analyze=True, optimize=pushdown
+        )
         total = perf_counter() - started
         rows: list[tuple] = []
         stats = result.step_stats or {}
@@ -719,16 +743,17 @@ class Database:
 
     # -- SELECT -----------------------------------------------------------------------
 
-    def _execute_union(self, stmt: UnionStmt, params: Sequence[Any]) -> Result:
+    def _execute_union(self, stmt: UnionStmt, params: Sequence[Any],
+                       pushdown: bool = True) -> Result:
         """UNION / UNION ALL over compatible selects.
 
         Column labels come from the first select; every branch must yield
         the same column count.  Plain UNION removes duplicate rows.
         """
-        first = self._execute_select(stmt.selects[0], params)
+        first = self._execute_select(stmt.selects[0], params, pushdown)
         rows = list(first.rows)
         for branch in stmt.selects[1:]:
-            branch_result = self._execute_select(branch, params)
+            branch_result = self._execute_select(branch, params, pushdown)
             if len(branch_result.columns) != len(first.columns):
                 raise SqlSyntaxError(
                     f"UNION branches have {len(first.columns)} and "
@@ -748,8 +773,9 @@ class Database:
             rows = deduped
         return Result(first.columns, rows, rowcount=len(rows))
 
-    def _execute_select(self, stmt: SelectStmt, params: Sequence[Any]) -> Result:
-        result = self._executor.execute_select(stmt, params)
+    def _execute_select(self, stmt: SelectStmt, params: Sequence[Any],
+                        pushdown: bool = True) -> Result:
+        result = self._executor.execute_select(stmt, params, optimize=pushdown)
         rows = self._decorate_datalinks(result)
         return Result(result.columns, rows, rowcount=len(rows), plan=result.plan)
 

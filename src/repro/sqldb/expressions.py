@@ -31,6 +31,7 @@ __all__ = [
     "AggregateCall",
     "Star",
     "truthy",
+    "hash_key",
 ]
 
 AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
@@ -214,9 +215,19 @@ class ExistsSubquery(Expression):
 
 
 class InSubquery(Expression):
-    """``expr [NOT] IN (SELECT ...)`` — materialised like :class:`Subquery`."""
+    """``expr [NOT] IN (SELECT ...)`` — materialised like :class:`Subquery`.
 
-    __slots__ = ("operand", "select", "negated", "_bound", "_values")
+    Executed as a hashed semi-join: when every subquery value is a simple
+    hashable scalar, :meth:`bind` builds a set of normalised keys and each
+    row's membership test is O(1) instead of a scan over the value list.
+    Mixed or exotic value types fall back to the pairwise ``=`` comparison,
+    which handles cross-type coercions (dates vs strings etc.).
+    """
+
+    __slots__ = (
+        "operand", "select", "negated", "_bound", "_values",
+        "_hashed", "_hash_family", "_saw_null",
+    )
 
     def __init__(self, operand: Expression, select, negated: bool = False) -> None:
         self.operand = operand
@@ -224,11 +235,26 @@ class InSubquery(Expression):
         self.negated = negated
         self._bound = False
         self._values: list[Any] = []
+        self._hashed: set | None = None
+        self._hash_family: tuple[type, ...] | None = None
+        self._saw_null = False
 
     def bind(self, rows: list[tuple]) -> None:
         if rows and len(rows[0]) != 1:
             raise SqlSyntaxError("IN subquery must select exactly one column")
         self._values = [row[0] for row in rows]
+        self._saw_null = any(v is None for v in self._values)
+        present = [v for v in self._values if v is not None]
+        # Hash only homogeneous families: a probe value outside the family
+        # must fall back to the pairwise path, which raises (or coerces)
+        # exactly as the naive comparison loop would.
+        self._hashed = None
+        self._hash_family = None
+        for family in ((int, float), (str, Clob)):
+            if all(isinstance(v, family) for v in present):
+                self._hashed = {hash_key(v) for v in present}
+                self._hash_family = family
+                break
         self._bound = True
 
     def evaluate(self, env, params=()) -> Any:
@@ -237,14 +263,19 @@ class InSubquery(Expression):
         value = self.operand.evaluate(env, params)
         if value is None:
             return None
-        saw_null = False
-        for candidate in self._values:
-            if candidate is None:
-                saw_null = True
-                continue
-            if _compare("=", value, candidate):
-                return False if self.negated else True
-        if saw_null:
+        if self._hashed is not None and isinstance(value, self._hash_family):
+            matched = hash_key(value) in self._hashed
+        else:
+            matched = False
+            for candidate in self._values:
+                if candidate is None:
+                    continue
+                if _compare("=", value, candidate):
+                    matched = True
+                    break
+        if matched:
+            return False if self.negated else True
+        if self._saw_null:
             return None
         return True if self.negated else False
 
@@ -253,6 +284,30 @@ class InSubquery(Expression):
 
     def _collect_refs(self, out):
         self.operand._collect_refs(out)
+
+
+def hash_key(value: Any) -> Any:
+    """Normalise one value for hash-based equality (hash joins, hashed
+    IN-subquery membership) so that two values compare equal under SQL
+    ``=`` iff their keys are equal: CLOBs compare as their text, CHAR
+    values ignore trailing padding, dates promote to midnight datetimes
+    (mirroring :func:`_comparable`), and unhashable values degrade to
+    their ``repr``."""
+    if isinstance(value, Clob):
+        value = value.text
+    if isinstance(value, DatalinkValue):
+        value = value.url
+    if isinstance(value, Blob):
+        value = value.data
+    if isinstance(value, str):
+        value = value.rstrip()
+    if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+        value = _dt.datetime(value.year, value.month, value.day)
+    try:
+        hash(value)
+    except TypeError:
+        value = repr(value)
+    return value
 
 
 def _comparable(left: Any, right: Any) -> tuple[Any, Any]:

@@ -1,14 +1,30 @@
-"""Light-weight rule-based planning helpers.
+"""Rule/cost-based planning for the SELECT executor.
 
-The executor consults these functions to decide between a sequential scan
-and an index lookup.  The rules cover what the EASIA workloads need:
+The executor consults these functions to decide, per table in the FROM
+clause, between a sequential scan, an index point lookup and a sorted-index
+range scan, and per join between an index nested loop, a hash join and a
+plain nested loop.  The analysis layer here is purely syntactic — it never
+touches rows — and covers:
 
 * conjunct extraction from WHERE clauses,
 * ``column = constant`` detection for index point lookups,
-* equi-join key detection (``a.x = b.y``) for index nested-loop joins.
+* equi-join key detection (``a.x = b.y``) for index nested-loop and hash
+  joins,
+* range-bound extraction (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN`` and
+  LIKE prefixes like ``'abc%'``) merged per column for
+  :meth:`SortedIndex.range_scan`,
+* predicate *pushdown* assignment: each WHERE conjunct is attached to the
+  earliest pipeline position (base scan or join output) whose tables cover
+  all of its column references, so rows are filtered as soon as possible
+  instead of after the full join pipeline.
+
+Range scans are chosen as a *superset* access path: the originating
+predicate is always re-applied as a pushed filter, so an approximate bound
+(e.g. a LIKE prefix over a padded CHAR column) can never produce wrong
+rows, only extra candidate rows.
 
 :func:`explain` renders the chosen access paths as text, which the tests
-use to pin down that indexes are actually exercised.
+use to pin down that indexes and join strategies are actually exercised.
 """
 
 from __future__ import annotations
@@ -16,17 +32,34 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.sqldb.expressions import (
+    AggregateCall,
+    Between,
     BinaryOp,
+    CaseExpression,
     ColumnRef,
+    ExistsSubquery,
     Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
     Literal,
     Parameter,
+    Star,
+    Subquery,
+    UnaryOp,
 )
 
 __all__ = [
     "conjuncts",
     "constant_equalities",
     "join_equalities",
+    "range_bounds",
+    "like_prefix",
+    "assign_filters",
+    "ColumnRange",
+    "describe",
     "explain",
 ]
 
@@ -74,8 +107,8 @@ def join_equalities(
     """Extract ``outer.col = inner.col`` pairs from a join condition.
 
     Returns pairs ``(outer_ref, inner_ref)`` where ``inner_ref`` belongs to
-    the table being joined (``right_alias``); these drive index lookups on
-    the inner table.
+    the table being joined (``right_alias``); these drive index lookups or
+    the hash-join build on the inner table.
     """
     pairs: list[tuple[ColumnRef, ColumnRef]] = []
     for predicate in conjuncts(on):
@@ -89,6 +122,245 @@ def join_equalities(
         elif left.table == right_alias and right.table != right_alias:
             pairs.append((right, left))
     return pairs
+
+
+# -- range analysis -------------------------------------------------------------
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class ColumnRange:
+    """Merged lower/upper bounds on one column, from one or more conjuncts.
+
+    ``low``/``high`` of ``None`` mean unbounded on that side.  Bounds are
+    tightened with plain comparisons; incomparable constants leave the
+    existing bound in place (the pushed residual filter stays correct).
+    """
+
+    __slots__ = ("ref", "low", "high", "include_low", "include_high")
+
+    def __init__(self, ref: ColumnRef) -> None:
+        self.ref = ref
+        self.low: Any = None
+        self.high: Any = None
+        self.include_low = True
+        self.include_high = True
+
+    def tighten(self, op: str, value: Any) -> None:
+        if value is None:
+            return  # col > NULL matches nothing; leave it to the filter
+        try:
+            if op in (">", ">="):
+                include = op == ">="
+                if (
+                    self.low is None
+                    or value > self.low
+                    or (value == self.low and self.include_low and not include)
+                ):
+                    self.low, self.include_low = value, include
+            else:  # < or <=
+                include = op == "<="
+                if (
+                    self.high is None
+                    or value < self.high
+                    or (value == self.high and self.include_high and not include)
+                ):
+                    self.high, self.include_high = value, include
+        except TypeError:
+            pass  # incomparable with the existing bound: keep the old one
+
+    def describe(self) -> str:
+        if self.low is not None and self.high is not None:
+            lo_op = "<=" if self.include_low else "<"
+            hi_op = "<=" if self.include_high else "<"
+            return f"{self.low!r} {lo_op} {self.ref.key} {hi_op} {self.high!r}"
+        if self.low is not None:
+            op = ">=" if self.include_low else ">"
+            return f"{self.ref.key} {op} {self.low!r}"
+        op = "<=" if self.include_high else "<"
+        return f"{self.ref.key} {op} {self.high!r}"
+
+
+def like_prefix(pattern: str) -> str | None:
+    """The literal prefix of a LIKE pattern before the first wildcard.
+
+    ``'abc%'`` -> ``'abc'``; a pattern starting with a wildcard (or an
+    empty prefix) yields ``None`` — no range is derivable.
+    """
+    prefix = []
+    for ch in pattern:
+        if ch in ("%", "_"):
+            break
+        prefix.append(ch)
+    return "".join(prefix) or None
+
+
+def _range_constraints(
+    predicate: Expression, params: Sequence[Any]
+) -> list[tuple[ColumnRef, str, Any]]:
+    """``(column, op, constant)`` bounds implied by one conjunct."""
+    out: list[tuple[ColumnRef, str, Any]] = []
+    if isinstance(predicate, BinaryOp) and predicate.op in _FLIPPED:
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and _constant_side(right):
+            out.append((left, predicate.op, right.evaluate({}, params)))
+        elif isinstance(right, ColumnRef) and _constant_side(left):
+            out.append((right, _FLIPPED[predicate.op], left.evaluate({}, params)))
+    elif isinstance(predicate, Between) and not predicate.negated:
+        if isinstance(predicate.operand, ColumnRef):
+            if _constant_side(predicate.low):
+                out.append(
+                    (predicate.operand, ">=", predicate.low.evaluate({}, params))
+                )
+            if _constant_side(predicate.high):
+                out.append(
+                    (predicate.operand, "<=", predicate.high.evaluate({}, params))
+                )
+    elif isinstance(predicate, Like) and not predicate.negated:
+        if isinstance(predicate.operand, ColumnRef) and _constant_side(
+            predicate.pattern
+        ):
+            pattern = predicate.pattern.evaluate({}, params)
+            if isinstance(pattern, str):
+                prefix = like_prefix(pattern)
+                if prefix is not None and ord(prefix[-1]) < 0x10FFFF:
+                    upper = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+                    out.append((predicate.operand, ">=", prefix))
+                    out.append((predicate.operand, "<", upper))
+    return out
+
+
+def range_bounds(
+    predicates: Sequence[Expression],
+    params: Sequence[Any],
+) -> list[ColumnRange]:
+    """Merged per-column range bounds implied by the WHERE conjuncts.
+
+    ``x > 1 AND x < 9`` folds into one :class:`ColumnRange`; columns with
+    no inequality/BETWEEN/LIKE-prefix constraint are absent.
+    """
+    ranges: dict[str, ColumnRange] = {}
+    for predicate in predicates:
+        for ref, op, value in _range_constraints(predicate, params):
+            ranges.setdefault(ref.key, ColumnRange(ref)).tighten(op, value)
+    return [
+        r for r in ranges.values() if r.low is not None or r.high is not None
+    ]
+
+
+# -- predicate pushdown ---------------------------------------------------------
+
+
+def assign_filters(
+    predicates: Sequence[Expression],
+    aliases: Sequence[str],
+    unambiguous: dict[str, str],
+) -> tuple[list[list[Expression]], list[Expression]]:
+    """Attach each conjunct to the earliest pipeline position that covers it.
+
+    Position ``i`` means "right after table ``aliases[i]`` joins the
+    pipeline" (position 0 is the base-table scan).  A conjunct lands at the
+    highest position of any alias it references; conjuncts referencing
+    unknown aliases, ambiguous bare columns or aggregates stay in the
+    returned ``residual`` list and run after the full pipeline, preserving
+    the naive path's error behaviour.
+    """
+    positions = {alias: i for i, alias in enumerate(aliases)}
+    stages: list[list[Expression]] = [[] for _ in aliases]
+    residual: list[Expression] = []
+    for predicate in predicates:
+        position = 0
+        pushable = bool(aliases) and not predicate.contains_aggregate()
+        if pushable:
+            for ref in predicate.column_refs():
+                alias = ref.table if ref.table is not None else unambiguous.get(
+                    ref.column
+                )
+                index = positions.get(alias) if alias is not None else None
+                if index is None:
+                    pushable = False
+                    break
+                position = max(position, index)
+        if pushable:
+            stages[position].append(predicate)
+        else:
+            residual.append(predicate)
+    return stages, residual
+
+
+def single_alias_filters(
+    filters: Sequence[Expression],
+    alias: str,
+    unambiguous: dict[str, str],
+) -> tuple[list[Expression], list[Expression]]:
+    """Split ``filters`` into (only-``alias``, rest).
+
+    The first group can run while the join's inner side is materialised
+    (shrinking a hash-join build or a nested-loop inner cache); only valid
+    for INNER/CROSS joins — the caller must not use it under LEFT joins,
+    where WHERE filters apply to the null-extended output.
+    """
+    own: list[Expression] = []
+    rest: list[Expression] = []
+    for predicate in filters:
+        refs = predicate.column_refs()
+        if refs and all(
+            (ref.table or unambiguous.get(ref.column)) == alias for ref in refs
+        ):
+            own.append(predicate)
+        else:
+            rest.append(predicate)
+    return own, rest
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def describe(expr: Expression) -> str:
+    """Compact SQL-ish rendering of an expression, for EXPLAIN output."""
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, Parameter):
+        return f"?{expr.index + 1}"
+    if isinstance(expr, ColumnRef):
+        return expr.key
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinaryOp):
+        return f"{describe(expr.left)} {expr.op} {describe(expr.right)}"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op} {describe(expr.operand)}"
+    if isinstance(expr, IsNull):
+        negated = " NOT" if expr.negated else ""
+        return f"{describe(expr.operand)} IS{negated} NULL"
+    if isinstance(expr, Like):
+        negated = "NOT " if expr.negated else ""
+        return f"{describe(expr.operand)} {negated}LIKE {describe(expr.pattern)}"
+    if isinstance(expr, Between):
+        negated = "NOT " if expr.negated else ""
+        return (
+            f"{describe(expr.operand)} {negated}BETWEEN "
+            f"{describe(expr.low)} AND {describe(expr.high)}"
+        )
+    if isinstance(expr, InList):
+        negated = "NOT " if expr.negated else ""
+        items = ", ".join(describe(item) for item in expr.items)
+        return f"{describe(expr.operand)} {negated}IN ({items})"
+    if isinstance(expr, InSubquery):
+        negated = "NOT " if expr.negated else ""
+        return f"{describe(expr.operand)} {negated}IN (subquery)"
+    if isinstance(expr, ExistsSubquery):
+        negated = "NOT " if expr.negated else ""
+        return f"{negated}EXISTS (subquery)"
+    if isinstance(expr, Subquery):
+        return "(subquery)"
+    if isinstance(expr, FunctionCall):
+        return f"{expr.name}({', '.join(describe(a) for a in expr.args)})"
+    if isinstance(expr, AggregateCall):
+        return f"{expr.name}({describe(expr.arg)})"
+    if isinstance(expr, CaseExpression):
+        return "CASE ... END"
+    return type(expr).__name__
 
 
 def explain(plan_steps: list[str]) -> str:

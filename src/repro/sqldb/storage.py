@@ -155,6 +155,14 @@ class HashIndex:
             return set()
         return set(self._entries.get(self._hashable(key), ()))
 
+    def find_sorted(self, key: tuple) -> list[int]:
+        """Matching rowids in ascending order.
+
+        ``find`` returns an (unordered) set; query execution iterates this
+        sorted form instead, so repeated queries return rows in a stable
+        order regardless of set-iteration salt."""
+        return sorted(self.find(key))
+
     def contains(self, key: tuple) -> bool:
         if any(part is None for part in key):
             return False
@@ -204,6 +212,10 @@ class SortedIndex:
             else:
                 break
         return out
+
+    def find_sorted(self, key: tuple) -> list[int]:
+        """Matching rowids in ascending order (stable across runs)."""
+        return sorted(self.find(key))
 
     def contains(self, key: tuple) -> bool:
         return bool(self.find(key))

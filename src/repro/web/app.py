@@ -246,6 +246,13 @@ class EasiaApp:
         if query.limit is None:
             query.limit = page_size
             query.offset = (page_number - 1) * page_size
+        # Pagination is only meaningful over a deterministic order: default
+        # to the primary key (the engine runs ORDER BY ... LIMIT as top-N).
+        visible = {c.colid for c in table.visible_columns()}
+        candidates = [c for c in table.primary_key if c in visible]
+        if not candidates and table.visible_columns():
+            candidates = [table.visible_columns()[0].colid]
+        query.ensure_order(candidates)
         count_sql, count_params = query.count_sql()
         total = self.db.execute(count_sql, count_params).scalar() or 0
 
@@ -307,12 +314,33 @@ class EasiaApp:
         parts.append("</p>")
         return "".join(parts)
 
+    @staticmethod
+    def _order_clause(document, table_name: str) -> str:
+        """``ORDER BY <pk>`` for tables whose XUIS spec names a primary
+        key, so repeated browse requests return rows in a stable order."""
+        if not document.has_table(table_name):
+            return ""
+        primary_key = document.table(table_name).primary_key
+        if not primary_key:
+            return ""
+        columns = ", ".join(parse_colid(c)[1] for c in primary_key)
+        return f" ORDER BY {columns}"
+
     def _whole_table(self, request: Request) -> Response:
         user = request.require_user()
         document = self.document_for(user)
         table = document.table(request.require_param("name"))
         visible = ", ".join(c.colid for c in table.visible_columns())
-        result = self.db.execute(f"SELECT {visible} FROM {table.name}")
+        sql = (
+            f"SELECT {visible} FROM {table.name}"
+            + self._order_clause(document, table.name)
+        )
+        limit = _int_param(request, "limit", 0)
+        if limit > 0:
+            # LIMIT makes the engine keep a top-N heap over the PK order
+            # instead of materialising and sorting the whole table.
+            sql += f" LIMIT {limit}"
+        result = self.db.execute(sql)
         return Response.html(
             render_result_table(self.db, document, table.name, result, user)
         )
@@ -328,7 +356,9 @@ class EasiaApp:
             raise WebError(f"{colid} is not a foreign key")
         ref_table, ref_column = parse_colid(column.fk.tablecolumn)
         result = self.db.execute(
-            f"SELECT * FROM {ref_table} WHERE {ref_column} = ?", (value,)
+            f"SELECT * FROM {ref_table} WHERE {ref_column} = ?"
+            + self._order_clause(document, ref_table),
+            (value,),
         )
         return Response.html(
             render_result_table(self.db, document, ref_table, result, user)
@@ -342,7 +372,9 @@ class EasiaApp:
         value = request.require_param("value")
         child_table, child_column = parse_colid(ref)
         result = self.db.execute(
-            f"SELECT * FROM {child_table} WHERE {child_column} = ?", (value,)
+            f"SELECT * FROM {child_table} WHERE {child_column} = ?"
+            + self._order_clause(document, child_table),
+            (value,),
         )
         return Response.html(
             render_result_table(self.db, document, child_table, result, user)

@@ -107,6 +107,17 @@ class QbeQuery:
                     f"bad restriction value for {restriction.colid}: {exc}"
                 ) from exc
 
+    def ensure_order(self, colids: list[str]) -> None:
+        """Default the sort order to the first of ``colids`` (typically the
+        table's primary-key colids) when the form requested none.
+
+        Paginated results are only meaningful over a deterministic order;
+        the engine turns the resulting ``ORDER BY ... LIMIT`` into a top-N
+        heap, so the default costs O(n log k), not a full sort.
+        """
+        if self.order_by is None and colids:
+            self.order_by = colids[0].upper()
+
     def to_sql(self, xuis_table: XuisTable | None = None) -> tuple[str, tuple]:
         """Render as parameterised SQL; returns ``(sql, params)``."""
         if xuis_table is not None:
