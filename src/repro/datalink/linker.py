@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import faultinject
 from repro.errors import FileLinkError, FileNotFoundOnServer
 from repro.datalink.tokens import TokenManager
 from repro.obs import get_observability
@@ -155,11 +156,16 @@ class DataLinker(DatalinkHooks):
         pending.ops.append((kind, server, path, spec))
 
     def _apply(self, txn_id: int) -> None:
+        # By the time this runs the transaction's WAL record is durable,
+        # so a crash anywhere below leaves the database ahead of the file
+        # servers; reconciliation after recovery closes the gap (see
+        # :meth:`recover`).
         pending = self._pending.pop(txn_id, None)
         if pending is None:
             return
         obs = get_observability()
         for kind, server, path, spec in pending.ops:
+            faultinject.crash_point("datalink.apply.before_op")
             if kind == "link":
                 server.dl_link(
                     path,
@@ -179,9 +185,40 @@ class DataLinker(DatalinkHooks):
                     obs.events.emit("datalink.unlink", host=server.host, path=path)
                 for listener in self.unlink_listeners:
                     listener(server.host, path)
+            faultinject.crash_point("datalink.apply.after_op")
 
     def _discard(self, txn_id: int) -> None:
         self._pending.pop(txn_id, None)
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def discard_pending(self) -> int:
+        """Drop every pending (uncommitted) link operation.
+
+        Called when the database host restarts after a crash: transactions
+        that never committed must not leave queued file operations behind.
+        Returns the number of operations discarded.
+        """
+        dropped = sum(len(p.ops) for p in self._pending.values())
+        self._pending.clear()
+        return dropped
+
+    def recover(self, db, repair_links: bool = True):
+        """Post-crash datalink recovery: audit and (optionally) repair.
+
+        A crash between the WAL append (commit point) and the application
+        of pending link operations leaves the database ahead of the file
+        servers — rows referencing files that are not under link control,
+        or linked files whose rows are gone.  This runs
+        :func:`repro.datalink.reconcile.recover` to detect (and, with
+        ``repair_links``, apply the safe fixes for) exactly that
+        divergence.  Returns the pre-repair
+        :class:`~repro.datalink.reconcile.ReconcileReport`.
+        """
+        from repro.datalink.reconcile import recover
+
+        self.discard_pending()
+        return recover(db, self, repair_links=repair_links)
 
     # statement-level atomicity (see DatalinkHooks)
 

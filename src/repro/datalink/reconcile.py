@@ -21,10 +21,11 @@ rows is a curator's decision.
 from __future__ import annotations
 
 from repro.datalink.linker import DataLinker
+from repro.obs import get_observability
 from repro.sqldb.database import Database
 from repro.sqldb.types import DatalinkValue
 
-__all__ = ["ReconcileReport", "Finding", "reconcile", "repair"]
+__all__ = ["ReconcileReport", "Finding", "reconcile", "recover", "repair"]
 
 
 class Finding:
@@ -160,3 +161,37 @@ def repair(db: Database, linker: DataLinker,
     for finding in report.by_kind("orphaned"):
         linker.server(finding.host).dl_unlink(finding.path, delete=False)
     return reconcile(db, linker)
+
+
+def recover(db: Database, linker: DataLinker,
+            repair_links: bool = True) -> ReconcileReport:
+    """Datalink reconciliation as part of crash recovery.
+
+    The WAL makes the *database* state recoverable, but a crash between
+    the commit record reaching the log and the pending link operations
+    reaching the file servers leaves files orphaned (linked on a server
+    with no referencing row) or unlinked (referenced under FILE LINK
+    CONTROL but not actually locked).  This audits the deployment, emits
+    ``wal.recovery.datalink_*`` counters, and — when ``repair_links`` —
+    applies the safe fixes via :func:`repair`.
+
+    Returns the *pre-repair* report, so callers see what the crash left
+    behind; dangling references are reported, never auto-dropped.
+    """
+    report = reconcile(db, linker)
+    obs = get_observability()
+    if obs.enabled:
+        obs.metrics.counter("wal.recovery.reconcile_runs").inc()
+        for kind in ("dangling", "unlinked", "orphaned"):
+            count = len(report.by_kind(kind))
+            if count:
+                obs.metrics.counter(f"wal.recovery.datalink_{kind}").inc(count)
+        obs.events.emit(
+            "wal.recovery.reconcile",
+            findings=len(report.findings),
+            links_checked=report.links_checked,
+            files_checked=report.files_checked,
+        )
+    if repair_links and not report.consistent:
+        repair(db, linker, report)
+    return report

@@ -69,6 +69,11 @@ class RecoveryError(DatabaseError):
     """The write-ahead log or a backup image could not be replayed."""
 
 
+class FaultInjectionError(ReproError):
+    """The fault-injection harness was misused: an unknown crash point was
+    armed, or an armed crash point was never reached (dead injection site)."""
+
+
 # ---------------------------------------------------------------------------
 # SQL/MED datalinks (repro.datalink)
 # ---------------------------------------------------------------------------

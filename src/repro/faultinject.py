@@ -1,0 +1,185 @@
+"""``repro.faultinject`` — deterministic fault injection for durability code.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  This module lets the test harness simulate a process death at a
+*named point* inside the durability path — mid WAL append, between the
+checkpoint rename and the log truncation, halfway through applying a
+transaction's datalink operations — deterministically and without
+subprocesses.
+
+The sites are marked in production code with :func:`crash_point` (or
+:func:`should_crash` where the site implements bespoke crash behaviour,
+e.g. a torn partial write).  When no injector is armed both are a single
+``is None`` check, so the instrumentation is free in normal operation.
+
+Usage::
+
+    from repro import faultinject
+
+    with faultinject.inject_crash("wal.checkpoint.after_replace"):
+        db.checkpoint()            # dies at the armed point
+    db = Database(directory)       # recovery must produce a sane state
+
+Design rules:
+
+* :class:`InjectedCrash` subclasses :class:`BaseException` (like
+  ``KeyboardInterrupt``), so ordinary ``except Exception`` cleanup in the
+  engine cannot observe it — a real crash would not run rollback code
+  either.  Recovery must come from disk alone.
+* Crash point names form a closed registry (:data:`CRASH_POINTS`).  Arming
+  an unknown name raises :class:`~repro.errors.FaultInjectionError`
+  immediately, and so does visiting an unregistered name.
+* **Fail fast on dead sites**: if :class:`inject_crash` exits without its
+  armed point having fired, it raises
+  :class:`~repro.errors.FaultInjectionError`.  A refactor that deletes or
+  bypasses an injection site breaks the crash matrix loudly instead of
+  silently testing nothing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultInjector",
+    "InjectedCrash",
+    "active_injector",
+    "crash_point",
+    "inject_crash",
+    "should_crash",
+]
+
+#: The closed registry of crash sites compiled into the durability path.
+#: Keep in sync with the ``crash_point``/``should_crash`` calls in
+#: ``repro.sqldb.wal``, ``repro.datalink.linker`` and
+#: ``repro.fileserver.filesystem`` — the crash-matrix suite asserts every
+#: name here is reachable.
+CRASH_POINTS = frozenset({
+    # WAL append (repro.sqldb.wal.WriteAheadLog.append_transaction)
+    "wal.append.torn",            # half the record reaches disk, no newline
+    "wal.append.full_write",      # record durable, ack never returned
+    # Checkpointing (repro.sqldb.wal.WriteAheadLog.write_checkpoint)
+    "wal.checkpoint.tmp_written",   # .tmp synced, rename never happened
+    "wal.checkpoint.after_replace", # new checkpoint live, WAL not truncated
+    "wal.checkpoint.after_truncate",# checkpoint complete, epoch not bumped
+    # Datalink application (repro.datalink.linker.DataLinker._apply)
+    "datalink.apply.before_op",   # commit durable, op N not yet applied
+    "datalink.apply.after_op",    # op N applied, op N+1 pending
+    # File-server control plane (repro.fileserver.filesystem)
+    "fileserver.dl_link",         # link-control mutation about to happen
+    "fileserver.dl_unlink",       # unlink-control mutation about to happen
+})
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a named crash point.
+
+    Deliberately **not** an :class:`Exception`: the engine's error handling
+    (statement rollback, commit-hook collection) must not intercept it,
+    because a real crash would not run those paths.  Only
+    :class:`inject_crash` catches it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Arms exactly one crash point; counts every site visited.
+
+    ``skip`` survives that many hits of the armed point before firing, so a
+    per-operation point inside a loop can be crashed at the Nth iteration.
+    """
+
+    def __init__(self, point: str, skip: int = 0) -> None:
+        if point not in CRASH_POINTS:
+            raise FaultInjectionError(
+                f"unknown crash point {point!r}; registered points: "
+                f"{', '.join(sorted(CRASH_POINTS))}"
+            )
+        self.point = point
+        self.skip = skip
+        self.fired = False
+        #: name -> visit count, for every site passed while armed
+        self.hits: dict[str, int] = {}
+
+    def visit(self, name: str) -> bool:
+        """Record a pass through site ``name``; True means "crash now"."""
+        if name not in CRASH_POINTS:
+            raise FaultInjectionError(
+                f"crash site {name!r} is not in faultinject.CRASH_POINTS; "
+                f"register it before instrumenting code with it"
+            )
+        self.hits[name] = self.hits.get(name, 0) + 1
+        if self.fired or name != self.point:
+            return False
+        if self.hits[name] <= self.skip:
+            return False
+        self.fired = True
+        return True
+
+
+#: the armed injector, if any (module global: the engine is single-threaded)
+_active: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    return _active
+
+
+def crash_point(name: str) -> None:
+    """Mark a crash site: raises :class:`InjectedCrash` when armed here."""
+    inj = _active
+    if inj is not None and inj.visit(name):
+        raise InjectedCrash(name)
+
+
+def should_crash(name: str) -> bool:
+    """Variant for sites with bespoke crash behaviour (e.g. torn writes).
+
+    Returns True when the site should perform its partial effect and then
+    raise :class:`InjectedCrash` itself.
+    """
+    inj = _active
+    return inj is not None and inj.visit(name)
+
+
+class inject_crash:
+    """Context manager: arm ``point``, swallow the resulting crash, and
+    fail fast if the point is never reached.
+
+    >>> from repro import faultinject
+    >>> with faultinject.inject_crash("wal.append.full_write") as inj:
+    ...     faultinject.crash_point("wal.append.full_write")
+    >>> inj.fired
+    True
+    """
+
+    def __init__(self, point: str, skip: int = 0) -> None:
+        self.injector = FaultInjector(point, skip)
+
+    def __enter__(self) -> FaultInjector:
+        global _active
+        if _active is not None:
+            raise FaultInjectionError(
+                f"crash point {_active.point!r} is already armed; "
+                f"inject_crash does not nest"
+            )
+        _active = self.injector
+        return self.injector
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = None
+        if exc_type is not None and issubclass(exc_type, InjectedCrash):
+            return True  # the simulated death we asked for
+        if exc_type is None and not self.injector.fired:
+            visited = ", ".join(sorted(self.injector.hits)) or "none"
+            raise FaultInjectionError(
+                f"crash point {self.injector.point!r} was armed but never "
+                f"reached (sites visited: {visited}); the injection site "
+                f"may be dead or the scenario does not exercise it"
+            )
+        return False

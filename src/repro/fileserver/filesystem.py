@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import faultinject
 from repro.errors import FileLockedError, FileNotFoundOnServer, FileServerError
 
 __all__ = ["FileEntry", "ServerFileSystem"]
@@ -135,6 +136,7 @@ class ServerFileSystem:
         entry = self.entry(path)
         if entry.linked:
             raise FileLockedError(f"{path} is already linked")
+        faultinject.crash_point("fileserver.dl_link")
         entry.linked = True
         entry.read_db = read_db
         entry.write_blocked = write_blocked
@@ -169,6 +171,7 @@ class ServerFileSystem:
         entry = self.entry(path)
         if not entry.linked:
             raise FileServerError(f"{path} is not linked")
+        faultinject.crash_point("fileserver.dl_unlink")
         entry.linked = False
         entry.read_db = False
         entry.write_blocked = False

@@ -154,6 +154,9 @@ class Database:
         self._obs = obs
         #: identity of the requesting user, consulted when issuing tokens
         self.current_user: str | None = None
+        #: populated by recovery on durable databases: replayed/skipped
+        #: transaction counts, torn-tail bytes, checkpoint watermark/epoch
+        self.recovery_stats: dict[str, int] | None = None
         if self._wal is not None:
             self._recover()
 
@@ -852,10 +855,41 @@ class Database:
         return out
 
     def _recover(self) -> None:
-        """Load the checkpoint (if any) then replay the WAL."""
+        """Load the checkpoint (if any) then replay the WAL.
+
+        Replay is idempotent: v2 records carry an LSN, and any record at
+        or below the checkpoint's watermark is already part of the
+        snapshot, so it is skipped instead of double-applied (the crash
+        window between checkpoint rename and WAL truncation).  A torn
+        final record is truncated away so later appends start clean.
+        """
+        assert self._wal is not None
+        obs = self._obs or get_observability()
+        if not obs.enabled:
+            self._recover_inner()
+            return
+        with obs.tracer.span(
+            "wal.recovery", directory=self._wal.directory
+        ) as span:
+            self._recover_inner()
+        span.set(**self.recovery_stats)
+        metrics = obs.metrics
+        metrics.counter("wal.recovery.runs").inc()
+        metrics.counter("wal.recovery.replayed_txns").inc(
+            self.recovery_stats["replayed_txns"]
+        )
+        metrics.counter("wal.recovery.skipped_stale").inc(
+            self.recovery_stats["skipped_stale"]
+        )
+        if self.recovery_stats["torn_tail_bytes"]:
+            metrics.counter("wal.recovery.torn_tail_bytes").inc(
+                self.recovery_stats["torn_tail_bytes"]
+            )
+        obs.events.emit("wal.recovery", **self.recovery_stats)
+
+    def _recover_inner(self) -> None:
         from repro.sqldb.parser import parse_script
 
-        assert self._wal is not None
         checkpoint = self._wal.read_checkpoint()
         if checkpoint is not None:
             for ddl_stmt in parse_script(checkpoint["ddl"]):
@@ -866,9 +900,23 @@ class Database:
                 table = self.catalog.table(table_name)
                 for rowid, row in WriteAheadLog.decode_table_rows(entries):
                     table.insert(row, rowid)
-        for _txn_id, ops in self._wal.iter_transactions():
+        watermark = self._wal.checkpoint_lsn
+        replayed = skipped = 0
+        for lsn, _txn_id, ops in self._wal.iter_transactions():
+            if lsn is not None and lsn <= watermark:
+                skipped += 1  # already captured by the checkpoint snapshot
+                continue
             for op in ops:
                 self._replay(op)
+            replayed += 1
+        torn_bytes = self._wal.repair_torn_tail()
+        self.recovery_stats = {
+            "replayed_txns": replayed,
+            "skipped_stale": skipped,
+            "torn_tail_bytes": torn_bytes,
+            "checkpoint_lsn": watermark,
+            "epoch": self._wal.epoch,
+        }
 
     def _apply_recovered_ddl(self, stmt: Statement, sql_text: str | None = None) -> None:
         if isinstance(stmt, CreateViewStmt):

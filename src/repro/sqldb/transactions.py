@@ -34,6 +34,9 @@ class Transaction:
         self.explicit = explicit
         self.undo: list[tuple] = []
         self.redo: list[dict] = []
+        #: LSN of this transaction's WAL record, set at commit (durable
+        #: databases only); None for read-only or in-memory transactions
+        self.commit_lsn: int | None = None
         #: callables executed after a successful commit (e.g. finalise links)
         self.on_commit: list[Callable[[], None]] = []
         #: callables executed on rollback (e.g. discard pending links)
@@ -83,15 +86,19 @@ class TransactionManager:
         txn = self._current
         if txn is None:
             raise TransactionError("no transaction to commit")
-        # Durability first: flush redo records before acknowledging.
+        # Durability first: flush redo records before acknowledging.  If
+        # the append fails (I/O error) the transaction stays open, so an
+        # explicit ROLLBACK can still undo the in-memory changes.
         if self._wal is not None and txn.redo:
-            self._wal.append_transaction(txn.txn_id, txn.redo)
+            txn.commit_lsn = self._wal.append_transaction(txn.txn_id, txn.redo)
         self._current = None
         failures = []
         for hook in txn.on_commit:
             try:
                 hook()
             except Exception as exc:  # pragma: no cover - defensive
+                # InjectedCrash subclasses BaseException on purpose: a
+                # simulated crash must propagate, not be collected here.
                 failures.append(exc)
         if failures:
             raise TransactionError(
