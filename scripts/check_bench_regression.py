@@ -3,6 +3,7 @@
 
 Usage:
     python scripts/check_bench_regression.py BASELINE CURRENT [--max-ratio 2.0]
+    python scripts/check_bench_regression.py --concurrency BENCH_concurrency.json
 
 Benchmarks whose name contains one of the guarded keywords (point lookups
 and joins — the planner's hot paths) fail the check when their median
@@ -10,7 +11,12 @@ exceeds ``max-ratio`` times the baseline median.  Other benchmarks are
 reported but never fail: absolute CI-runner speed varies, so only the
 guarded set is enforced, and only by ratio.
 
-Exit status: 0 when every guarded benchmark holds, 1 otherwise.
+``--concurrency`` validates the concurrency benchmark's result file
+(produced by benchmarks/test_bench_concurrency.py) instead of or in
+addition to the median comparison: torn_reads must be exactly 0 and the
+snapshot-vs-serialized speedup must meet ``--min-speedup`` (default 4.0).
+
+Exit status: 0 when every enforced gate holds, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -32,18 +38,10 @@ def load_medians(path: str) -> dict[str, float]:
     }
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly generated JSON")
-    parser.add_argument(
-        "--max-ratio", type=float, default=2.0,
-        help="fail when current/baseline median exceeds this (default 2.0)",
-    )
-    args = parser.parse_args(argv)
-
-    baseline = load_medians(args.baseline)
-    current = load_medians(args.current)
+def check_medians(baseline_path: str, current_path: str,
+                  max_ratio: float) -> list[str]:
+    baseline = load_medians(baseline_path)
+    current = load_medians(current_path)
 
     failures: list[str] = []
     for name, median in sorted(current.items()):
@@ -54,13 +52,13 @@ def main(argv: list[str] | None = None) -> int:
         ratio = median / reference
         guarded = any(keyword in name.lower() for keyword in GUARDED_KEYWORDS)
         status = "ok"
-        if ratio > args.max_ratio and guarded:
+        if ratio > max_ratio and guarded:
             status = "REGRESSED"
             failures.append(
                 f"{name}: median {median * 1e6:.1f} us vs baseline "
-                f"{reference * 1e6:.1f} us ({ratio:.2f}x > {args.max_ratio}x)"
+                f"{reference * 1e6:.1f} us ({ratio:.2f}x > {max_ratio}x)"
             )
-        elif ratio > args.max_ratio:
+        elif ratio > max_ratio:
             status = "slower (unguarded)"
         print(
             f"  {status:<18} {name}: {median * 1e6:.1f} us "
@@ -70,6 +68,64 @@ def main(argv: list[str] | None = None) -> int:
     missing = sorted(set(baseline) - set(current))
     for name in missing:
         print(f"  missing   {name}: present in baseline but not in this run")
+    return failures
+
+
+def check_concurrency(path: str, min_speedup: float) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    failures: list[str] = []
+    torn = payload.get("torn_reads")
+    speedup = payload.get("speedup")
+    if torn is None or speedup is None:
+        return [f"{path}: missing torn_reads/speedup keys"]
+    if torn != 0:
+        failures.append(
+            f"{path}: {torn} torn read(s) observed — isolation is broken"
+        )
+    if speedup < min_speedup:
+        failures.append(
+            f"{path}: snapshot-read speedup {speedup:.2f}x below the "
+            f"{min_speedup:g}x floor"
+        )
+    print(
+        f"  concurrency: {payload.get('snapshot_reads', '?')} snapshot reads "
+        f"vs {payload.get('serialized_reads', '?')} serialized "
+        f"({speedup:.2f}x, {torn} torn)"
+    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="freshly generated JSON")
+    parser.add_argument(
+        "--max-ratio", type=float, default=2.0,
+        help="fail when current/baseline median exceeds this (default 2.0)",
+    )
+    parser.add_argument(
+        "--concurrency", metavar="PATH",
+        help="validate a BENCH_concurrency.json result file",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=4.0,
+        help="concurrency gate: snapshot reads must beat serialized reads "
+             "by at least this factor (default 4.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.concurrency and not (args.baseline and args.current):
+        parser.error("need BASELINE CURRENT, --concurrency PATH, or both")
+    if (args.baseline is None) != (args.current is None):
+        parser.error("BASELINE and CURRENT must be given together")
+
+    failures: list[str] = []
+    if args.baseline and args.current:
+        failures += check_medians(args.baseline, args.current, args.max_ratio)
+    if args.concurrency:
+        failures += check_concurrency(args.concurrency, args.min_speedup)
 
     if failures:
         print("\nperformance regression gate FAILED:", file=sys.stderr)

@@ -85,10 +85,10 @@ def _build_demo(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import tempfile
-    from wsgiref.simple_server import make_server
 
     from repro import EasiaApp
-    from repro.web.wsgi import WsgiAdapter
+    from repro.sqldb.connection import ConnectionPool
+    from repro.web.wsgi import WsgiAdapter, make_threading_server
 
     if args.obs:
         import repro.obs as obs_mod
@@ -99,9 +99,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     app = EasiaApp(
         archive.db, archive.linker, archive.document, archive.users, engine
     )
-    httpd = make_server(args.host, args.port, WsgiAdapter(app))
+    # Thread-per-request serving over a fixed connection pool: each request
+    # runs on its own database connection with snapshot reads, so browsing
+    # never blocks behind an ingest transaction (docs/CONCURRENCY.md).
+    pool = ConnectionPool(archive.db, size=args.pool_size)
+    app.container.use_connection_pool(pool)
+    httpd = make_threading_server(args.host, args.port, WsgiAdapter(app))
     print(f"EASIA portal at http://{args.host or 'localhost'}:{args.port}/login "
-          "(guest/guest)")
+          f"(guest/guest, {args.pool_size} pooled connections)")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -227,6 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="serve the demo portal over HTTP")
     serve.add_argument("--host", default="")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--pool-size", type=int, default=4,
+                       help="database connections serving requests (default 4)")
     serve.add_argument("--obs", action="store_true",
                        help="enable observability (live /metrics and /trace)")
     _add_demo_options(serve)

@@ -20,6 +20,7 @@ paper lists:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro import faultinject
@@ -56,6 +57,11 @@ class DataLinker(DatalinkHooks):
         self.tokens = token_manager or TokenManager()
         self._servers: dict[str, FileServer] = {}
         self._pending: dict[int, _PendingOps] = {}
+        #: guards the pending-state map and the linked-or-not decisions made
+        #: from it — concurrent transactions must not double-link a file.
+        #: Reentrant: a commit hook (_apply) runs while the statement path
+        #: may still hold the lock during statement-atomicity rollbacks.
+        self._pending_lock = threading.RLock()
         #: lifetime statistics, used by benchmarks
         self.links_applied = 0
         self.unlinks_applied = 0
@@ -101,22 +107,26 @@ class DataLinker(DatalinkHooks):
             raise FileLinkError(
                 f"cannot link {value.url}: file does not exist on {server.host}"
             )
-        if self._effectively_linked(server, path, txn):
-            raise FileLinkError(
-                f"cannot link {value.url}: file is already linked"
-            )
-        self._queue(txn, "link", server, path, spec)
+        with self._pending_lock:
+            # check-and-queue is atomic, so two concurrent transactions
+            # cannot both pass the "already linked" test for one file
+            if self._effectively_linked(server, path, txn):
+                raise FileLinkError(
+                    f"cannot link {value.url}: file is already linked"
+                )
+            self._queue(txn, "link", server, path, spec)
 
     def on_remove_link(self, table, column, value: DatalinkValue, spec, txn) -> None:
         if spec is None or not spec.link_control:
             return
         server = self.server(value.host)
         path = value.server_path
-        if not self._effectively_linked(server, path, txn):
-            raise FileLinkError(
-                f"cannot unlink {value.url}: file is not linked"
-            )
-        self._queue(txn, "unlink", server, path, spec)
+        with self._pending_lock:
+            if not self._effectively_linked(server, path, txn):
+                raise FileLinkError(
+                    f"cannot unlink {value.url}: file is not linked"
+                )
+            self._queue(txn, "unlink", server, path, spec)
 
     def decorate(self, value: DatalinkValue, spec, user: str | None = None) -> DatalinkValue:
         """SELECT-time decoration: attach access token and file size.
@@ -160,7 +170,8 @@ class DataLinker(DatalinkHooks):
         # so a crash anywhere below leaves the database ahead of the file
         # servers; reconciliation after recovery closes the gap (see
         # :meth:`recover`).
-        pending = self._pending.pop(txn_id, None)
+        with self._pending_lock:
+            pending = self._pending.pop(txn_id, None)
         if pending is None:
             return
         obs = get_observability()
@@ -188,7 +199,8 @@ class DataLinker(DatalinkHooks):
             faultinject.crash_point("datalink.apply.after_op")
 
     def _discard(self, txn_id: int) -> None:
-        self._pending.pop(txn_id, None)
+        with self._pending_lock:
+            self._pending.pop(txn_id, None)
 
     # -- crash recovery ---------------------------------------------------------
 
@@ -199,8 +211,9 @@ class DataLinker(DatalinkHooks):
         that never committed must not leave queued file operations behind.
         Returns the number of operations discarded.
         """
-        dropped = sum(len(p.ops) for p in self._pending.values())
-        self._pending.clear()
+        with self._pending_lock:
+            dropped = sum(len(p.ops) for p in self._pending.values())
+            self._pending.clear()
         return dropped
 
     def recover(self, db, repair_links: bool = True):
@@ -223,13 +236,15 @@ class DataLinker(DatalinkHooks):
     # statement-level atomicity (see DatalinkHooks)
 
     def statement_mark(self, txn) -> int:
-        pending = self._pending.get(txn.txn_id)
-        return len(pending.ops) if pending is not None else 0
+        with self._pending_lock:
+            pending = self._pending.get(txn.txn_id)
+            return len(pending.ops) if pending is not None else 0
 
     def statement_rollback(self, txn, mark: int) -> None:
-        pending = self._pending.get(txn.txn_id)
-        if pending is not None:
-            del pending.ops[mark:]
+        with self._pending_lock:
+            pending = self._pending.get(txn.txn_id)
+            if pending is not None:
+                del pending.ops[mark:]
 
     # -- client-side convenience ------------------------------------------------------------
 

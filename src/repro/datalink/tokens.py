@@ -21,6 +21,7 @@ import base64
 import hashlib
 import hmac
 import secrets
+import threading
 import time
 from typing import Callable
 
@@ -73,6 +74,9 @@ class TokenManager:
         self._time_source = time_source
         self.issued_count = 0
         self.validated_count = 0
+        #: issuance/validation run from concurrent request threads; the
+        #: counters must not lose ticks (tests assert exact totals)
+        self._stats_lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -91,7 +95,8 @@ class TokenManager:
         # millisecond-resolution expiry keeps tokens short but precise
         expiry_hex = format(int(expiry * 1000), "x")
         signature = self._sign(scope, expiry_hex)
-        self.issued_count += 1
+        with self._stats_lock:
+            self.issued_count += 1
         obs = get_observability()
         if obs.enabled:
             obs.metrics.counter("datalink.tokens_issued").inc()
@@ -105,7 +110,8 @@ class TokenManager:
         :class:`TokenExpiredError` when the validity interval has elapsed;
         returns True otherwise.
         """
-        self.validated_count += 1
+        with self._stats_lock:
+            self.validated_count += 1
         obs = get_observability()
         expiry_hex, sep, signature_text = token.partition(".")
         if not sep or not expiry_hex or not signature_text:

@@ -65,6 +65,13 @@ class TransactionError(DatabaseError):
     """Invalid transaction state transitions (e.g. COMMIT with no BEGIN)."""
 
 
+class LockTimeout(TransactionError):
+    """The writer lock could not be acquired within the configured timeout.
+
+    Raised to the caller instead of blocking forever; the statement that
+    wanted the lock has had no effect and may be retried."""
+
+
 class RecoveryError(DatabaseError):
     """The write-ahead log or a backup image could not be replayed."""
 

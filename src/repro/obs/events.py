@@ -15,6 +15,7 @@ parameters and row counts, ready for ``/metrics``-style inspection.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Any, Callable
@@ -39,13 +40,16 @@ class EventLog:
     ) -> None:
         self._time = time_source
         self._seq = 0
+        self._seq_lock = threading.Lock()
         self.ring: deque[dict[str, Any]] = deque(maxlen=capacity)
         #: callables invoked with each event as it is emitted
         self.sinks: list[Callable[[dict[str, Any]], None]] = []
 
     def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
-        self._seq += 1
-        event = {"seq": self._seq, "ts": self._time(), "kind": kind, **fields}
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        event = {"seq": seq, "ts": self._time(), "kind": kind, **fields}
         self.ring.append(event)
         for sink in self.sinks:
             sink(event)

@@ -23,6 +23,7 @@ Instruments are keyed by name plus optional labels::
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Iterable
 
@@ -160,18 +161,30 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named instruments."""
+    """Get-or-create registry of named instruments.
+
+    Registration is lock-guarded so concurrent first-touches of the same
+    key resolve to one instrument.  Updates on the instruments themselves
+    are plain attribute arithmetic — individually atomic enough under the
+    GIL for monitoring data, and kept lock-free to stay cheap on hot
+    paths (a lost increment under extreme contention skews a statistic,
+    never correctness).
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels: dict[str, Any]):
         key = _metric_key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(key)
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(key)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {key!r} already registered as {metric.kind}"
             )
@@ -188,10 +201,9 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Every instrument's current state, keyed by full metric key."""
-        return {
-            key: metric.describe()
-            for key, metric in sorted(self._metrics.items())
-        }
+        with self._lock:
+            items = list(self._metrics.items())
+        return {key: metric.describe() for key, metric in sorted(items)}
 
     def render_text(self) -> str:
         """Prometheus-flavoured exposition of the whole registry."""
@@ -209,7 +221,8 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -20,6 +20,7 @@ Two clocks are supported:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -98,15 +99,27 @@ class Tracer:
         capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         self._time = time_source
-        self._stack: list[Span] = []
+        #: the open-span stack is per *thread* — each request thread in the
+        #: threaded web tier gets its own nesting context, so concurrent
+        #: requests never adopt each other's spans as parents
+        self._local = threading.local()
         self._next_id = 1
+        self._id_lock = threading.Lock()
         self.finished: deque[Span] = deque(maxlen=capacity)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle --------------------------------------------------------
 
     def _new_span(self, name: str, start: float, attrs: dict[str, Any]) -> Span:
-        span_id = self._next_id
-        self._next_id += 1
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
         parent = self._stack[-1] if self._stack else None
         return Span(
             name,

@@ -9,6 +9,7 @@ call :meth:`invalidate_dataset`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any
 
@@ -36,32 +37,37 @@ class OperationCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        # concurrent request threads run operations; LRU reordering and
+        # eviction are multi-step and must not interleave
+        self._lock = threading.Lock()
 
     @staticmethod
     def key(operation: str, dataset_url: str, params: dict[str, Any]) -> tuple:
         return (operation, dataset_url, tuple(sorted(params.items())))
 
     def get(self, key: tuple) -> CachedResult | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, result) -> None:
         size = sum(len(d) for d in result.outputs.values())
         if size > self.max_bytes:
             return  # too large to be worth keeping
-        if key in self._entries:
-            self._evict_one(key)
-        entry = CachedResult(dict(result.outputs), result.stdout, result.dataset_bytes)
-        self._entries[key] = entry
-        self._bytes += size
-        while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
-            oldest = next(iter(self._entries))
-            self._evict_one(oldest)
+        with self._lock:
+            if key in self._entries:
+                self._evict_one(key)
+            entry = CachedResult(dict(result.outputs), result.stdout, result.dataset_bytes)
+            self._entries[key] = entry
+            self._bytes += size
+            while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
+                oldest = next(iter(self._entries))
+                self._evict_one(oldest)
 
     def _evict_one(self, key: tuple) -> None:
         entry = self._entries.pop(key)
@@ -69,26 +75,29 @@ class OperationCache:
 
     def invalidate_dataset(self, dataset_url: str) -> int:
         """Drop every entry for one dataset (call on unlink)."""
-        stale = [k for k in self._entries if k[1] == dataset_url]
-        for key in stale:
-            self._evict_one(key)
-        return len(stale)
+        with self._lock:
+            stale = [k for k in self._entries if k[1] == dataset_url]
+            for key in stale:
+                self._evict_one(key)
+            return len(stale)
 
     def invalidate_file(self, host: str, path: str) -> int:
         """Drop entries whose dataset URL points at ``host``/``path``,
         whatever the scheme — the shape unlink notifications arrive in."""
         suffix = f"//{host}{path}"
-        stale = [
-            k for k in self._entries
-            if isinstance(k[1], str) and k[1].endswith(suffix)
-        ]
-        for key in stale:
-            self._evict_one(key)
-        return len(stale)
+        with self._lock:
+            stale = [
+                k for k in self._entries
+                if isinstance(k[1], str) and k[1].endswith(suffix)
+            ]
+            for key in stale:
+                self._evict_one(key)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -130,8 +130,21 @@ class OperationEngine:
         self.recent_events: "deque[tuple[int, str, str, str, str]]" = deque(
             maxlen=256
         )
+        import threading
+
         self._event_seq = 0
-        self._current_session = ""
+        self._event_lock = threading.Lock()
+        # the session tag travels with the *calling thread*: concurrent
+        # requests running operations must not stamp each other's events
+        self._session_local = threading.local()
+
+    @property
+    def _current_session(self) -> str:
+        return getattr(self._session_local, "tag", "")
+
+    @_current_session.setter
+    def _current_session(self, tag: str) -> None:
+        self._session_local.tag = tag
 
     # -- registry -----------------------------------------------------------------
 
@@ -145,10 +158,11 @@ class OperationEngine:
         self.progress_listeners.append(listener)
 
     def _progress(self, operation: str, stage: str, detail: str = "") -> None:
-        self._event_seq += 1
-        self.recent_events.append(
-            (self._event_seq, self._current_session, operation, stage, detail)
-        )
+        with self._event_lock:
+            self._event_seq += 1
+            self.recent_events.append(
+                (self._event_seq, self._current_session, operation, stage, detail)
+            )
         for listener in self.progress_listeners:
             listener(operation, stage, detail)
 

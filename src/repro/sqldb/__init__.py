@@ -21,6 +21,8 @@ The public entry point is :class:`repro.sqldb.Database`:
 'alpha'
 """
 
+from repro.errors import LockTimeout
+from repro.sqldb.connection import Connection, ConnectionPool
 from repro.sqldb.database import Database, Result
 from repro.sqldb.schema import Column, ForeignKey, TableSchema
 from repro.sqldb.types import (
@@ -34,6 +36,9 @@ from repro.sqldb.types import (
 __all__ = [
     "Database",
     "Result",
+    "Connection",
+    "ConnectionPool",
+    "LockTimeout",
     "Column",
     "ForeignKey",
     "TableSchema",

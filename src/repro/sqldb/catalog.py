@@ -13,7 +13,7 @@ from typing import Iterator
 
 from repro.errors import CatalogError
 from repro.sqldb.schema import Column, ForeignKey, TableSchema
-from repro.sqldb.storage import Table
+from repro.sqldb.storage import Table, VersionClock
 from repro.sqldb.types import BooleanType, IntegerType, VarcharType
 
 __all__ = ["Catalog", "SYSTEM_TABLES"]
@@ -33,11 +33,14 @@ SYSTEM_TABLES = (
 class Catalog:
     """All table definitions plus their storage objects."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: VersionClock | None = None) -> None:
         self._tables: dict[str, Table] = {}
         self._index_owner: dict[str, str] = {}
         #: view name -> (SelectStmt, original DDL text)
         self._views: dict[str, tuple] = {}
+        #: shared version clock installed on every table's heap, so one
+        #: commit sequence orders snapshot visibility across the database
+        self.clock = clock if clock is not None else VersionClock()
 
     # -- definition --------------------------------------------------------
 
@@ -47,7 +50,7 @@ class Catalog:
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name} already exists")
         self._validate_foreign_keys(schema)
-        table = Table(schema)
+        table = Table(schema, clock=self.clock)
         self._tables[schema.name] = table
         for name in table.indexes:
             self._index_owner[name] = schema.name

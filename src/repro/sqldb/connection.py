@@ -1,0 +1,451 @@
+"""Connection-scoped sessions: snapshot reads, the writer lock, pooling.
+
+The paper's archive is a multi-user web system; this module is what turns
+the single-user engine into one.  The pieces:
+
+* :class:`WriterLock` — the engine's single writer lock.  Writes from any
+  connection serialise through it; acquisition has a configurable timeout
+  that raises :class:`~repro.errors.LockTimeout` instead of blocking
+  forever, and every wait is measured (``sqldb.writer_lock.*`` metrics,
+  including a queue-depth gauge).
+* :class:`TableSnapshot` / :class:`SnapshotCatalog` — read-only,
+  visibility-filtered views of the live catalog at one version-clock
+  sequence.  A table untouched since the snapshot is served in *frozen*
+  mode — live heap and live indexes, full index access paths — and the
+  connection validates after the statement that it stayed untouched,
+  retrying once in scan mode if a writer committed mid-read (optimistic
+  snapshot reads).
+* :class:`Connection` — one session's handle: its own
+  :class:`~repro.sqldb.transactions.TransactionManager` (transaction state
+  is *per connection*), its own executors (the executor keeps per-statement
+  state and is not shareable across threads), and the snapshot read path.
+* :class:`ConnectionPool` — a small fixed pool the servlet container
+  checks a connection out of per request, installing it as the calling
+  thread's implicit connection for the request's duration.
+
+Isolation level offered (see docs/CONCURRENCY.md): autocommit reads on a
+``snapshot_reads`` connection are *read-committed with per-statement
+snapshots* — each statement sees one consistent committed state and never
+blocks on the writer.  Reads inside an explicit transaction see the live
+state (the transaction's own uncommitted writes included).  Connections
+obtained via :meth:`Database.connect` default to snapshot reads; the
+per-thread implicit connection behind ``Database.execute`` reads live,
+preserving exact single-connection semantics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro.errors import LockTimeout, TransactionError
+from repro.obs import get_observability
+from repro.sqldb.executor import Executor
+from repro.sqldb.transactions import TransactionManager
+
+__all__ = [
+    "Connection",
+    "ConnectionPool",
+    "SnapshotCatalog",
+    "TableSnapshot",
+    "WriterLock",
+]
+
+#: default writer-lock acquisition timeout, seconds
+DEFAULT_LOCK_TIMEOUT = 30.0
+
+
+class WriterLock:
+    """The engine's single writer lock, with timeout and instrumentation.
+
+    Not reentrant: one connection holds it from its first write statement
+    until commit/rollback.  ``queue_depth`` is the number of threads
+    currently blocked waiting — the writer-queue depth surfaced at
+    ``/metrics``.
+    """
+
+    def __init__(self, timeout: float = DEFAULT_LOCK_TIMEOUT, obs=None) -> None:
+        self._lock = threading.Lock()
+        self.timeout = timeout
+        self._obs = obs
+        self._waiters = 0
+        self._waiters_lock = threading.Lock()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._waiters
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def acquire(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self.timeout
+        obs = self._obs or get_observability()
+        # Fast path: uncontended acquisition costs one try-lock.
+        if self._lock.acquire(blocking=False):
+            if obs.enabled:
+                obs.metrics.counter("sqldb.writer_lock.acquires").inc()
+            return
+        with self._waiters_lock:
+            self._waiters += 1
+            if obs.enabled:
+                obs.metrics.gauge("sqldb.writer_lock.queue_depth").set(
+                    self._waiters
+                )
+        started = perf_counter()
+        try:
+            acquired = self._lock.acquire(timeout=timeout)
+        finally:
+            waited = perf_counter() - started
+            with self._waiters_lock:
+                self._waiters -= 1
+                if obs.enabled:
+                    obs.metrics.gauge("sqldb.writer_lock.queue_depth").set(
+                        self._waiters
+                    )
+        if obs.enabled:
+            obs.metrics.histogram("sqldb.writer_lock.wait_seconds").observe(
+                waited
+            )
+        if not acquired:
+            if obs.enabled:
+                obs.metrics.counter("sqldb.writer_lock.timeouts").inc()
+                obs.events.emit(
+                    "sqldb.writer_lock.timeout", timeout=timeout, waited=waited
+                )
+            raise LockTimeout(
+                f"writer lock not acquired within {timeout:g}s "
+                f"({self._waiters} other writer(s) waiting)"
+            )
+        if obs.enabled:
+            obs.metrics.counter("sqldb.writer_lock.acquires").inc()
+
+    def release(self) -> None:
+        self._lock.release()
+
+
+class TableSnapshot:
+    """Read-only view of one :class:`~repro.sqldb.storage.Table` at a
+    snapshot sequence, presenting the executor's table interface.
+
+    *Frozen* mode (table unmodified since the snapshot, and not forced to
+    scan): the live heap and live indexes serve the query — zero copying.
+    Correctness relies on post-statement validation by the owning
+    :class:`SnapshotCatalog`.  Otherwise every access goes through the
+    heap's versioned reads and no indexes are offered, so the planner
+    falls back to (visibility-filtered) sequential scans.
+    """
+
+    def __init__(self, table, snapshot: int, force_scan: bool = False) -> None:
+        self._table = table
+        self.snapshot = snapshot
+        self.schema = table.schema
+        self.frozen = not force_scan and table.version_seq <= snapshot
+        self.indexes = dict(table.indexes) if self.frozen else {}
+        self._visible: list[tuple[int, tuple]] | None = None
+
+    def _materialised(self) -> list[tuple[int, tuple]]:
+        if self._visible is None:
+            self._visible = self._table.heap.scan_at(self.snapshot)
+        return self._visible
+
+    def scan(self):
+        if self.frozen:
+            return self._table.heap.scan()
+        return iter(self._materialised())
+
+    def row(self, rowid: int) -> tuple:
+        return self._table.heap.get_at(rowid, self.snapshot)
+
+    def index_on(self, columns, require_unique: bool = False):
+        if not self.frozen:
+            return None
+        return self._table.index_on(columns, require_unique)
+
+    def index_leading_on(self, column: str):
+        if not self.frozen:
+            return None
+        return self._table.index_leading_on(column)
+
+    def __len__(self) -> int:
+        if self.frozen:
+            return len(self._table)
+        return len(self._materialised())
+
+
+class SnapshotCatalog:
+    """Catalog facade resolving every table to a :class:`TableSnapshot`.
+
+    One per connection; :meth:`begin` re-arms it for each snapshot-read
+    statement.  System catalog views are served live and unwrapped — they
+    are synthesised transient tables, outside row versioning.
+    """
+
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+        self.snapshot = 0
+        self.force_scan = False
+        #: tables handed out in frozen (live-index) mode, checked after
+        #: the statement to detect a writer racing the read
+        self._frozen_tables: list = []
+
+    def begin(self, snapshot: int, force_scan: bool = False) -> None:
+        self.snapshot = snapshot
+        self.force_scan = force_scan
+        self._frozen_tables = []
+
+    def consistent(self) -> bool:
+        """True when no frozen table was mutated past the snapshot."""
+        return all(
+            table.version_seq <= self.snapshot
+            for table in self._frozen_tables
+        )
+
+    # -- the catalog surface the executor consumes -----------------------------
+
+    def table(self, name: str):
+        table = self._catalog.table(name)
+        if self._catalog.is_system_table(name):
+            return table
+        snap = TableSnapshot(table, self.snapshot, force_scan=self.force_scan)
+        if snap.frozen:
+            self._frozen_tables.append(table)
+        return snap
+
+    def schema(self, name: str):
+        return self._catalog.schema(name)
+
+    def has_table(self, name: str) -> bool:
+        return self._catalog.has_table(name)
+
+    def is_system_table(self, name: str) -> bool:
+        return self._catalog.is_system_table(name)
+
+    def is_view(self, name: str) -> bool:
+        return self._catalog.is_view(name)
+
+    def view_select(self, name: str):
+        return self._catalog.view_select(name)
+
+
+class Connection:
+    """One session's handle onto a :class:`~repro.sqldb.database.Database`.
+
+    Owns its transaction state (so concurrent sessions can each hold an
+    open transaction), its own executors, and — when ``snapshot_reads`` is
+    on — the per-statement snapshot read path.  Not itself thread-safe:
+    one connection serves one thread at a time, which is exactly how the
+    pool hands them out.
+    """
+
+    def __init__(self, db, snapshot_reads: bool = True,
+                 lock_timeout: float | None = None) -> None:
+        self._db = db
+        self.snapshot_reads = snapshot_reads
+        #: per-connection override of the engine's writer-lock timeout
+        self.lock_timeout = lock_timeout
+        self.txns = TransactionManager(
+            db.catalog,
+            db._wal,
+            id_allocator=db._allocate_txn_id,
+            clock=db.catalog.clock,
+            writer=db.writer_lock,
+            snapshot_floor=db.snapshot_floor,
+            obs=db._obs,
+        )
+        #: live executor: writes, explicit-transaction reads, EXPLAIN
+        self.executor = Executor(db.catalog)
+        self._snap_catalog = SnapshotCatalog(db.catalog)
+        self._snap_executor = Executor(self._snap_catalog)
+        self.closed = False
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                pushdown: bool = True):
+        self._check_open()
+        return self._db._execute_on(self, sql, params, pushdown)
+
+    def execute_statement(self, stmt, params: Sequence[Any] = (),
+                          sql: str | None = None, pushdown: bool = True):
+        self._check_open()
+        return self._db._execute_statement_on(self, stmt, params, sql, pushdown)
+
+    def execute_script(self, sql: str, params: Sequence[Any] = ()):
+        from repro.sqldb.parser import parse_script_with_sql
+
+        return [
+            self.execute_statement(stmt, params, sql=text)
+            for stmt, text in parse_script_with_sql(sql)
+        ]
+
+    def transaction(self):
+        return _ConnectionTransaction(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txns.in_explicit_transaction
+
+    def close(self) -> None:
+        """Roll back any open transaction and release the connection."""
+        if self.closed:
+            return
+        if self.txns.active is not None:
+            self.txns.rollback()
+        self.closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise TransactionError("connection is closed")
+
+    # -- the snapshot read path --------------------------------------------------
+
+    def _execute_read(self, stmt, params: Sequence[Any], pushdown: bool):
+        """Run a SELECT/UNION/EXPLAIN for this connection.
+
+        Snapshot mode applies to autocommit reads on snapshot-enabled
+        connections; reads inside an explicit transaction are live so the
+        transaction observes its own writes.
+        """
+        db = self._db
+        if not self.snapshot_reads or self.txns.active is not None:
+            return db._run_read(stmt, params, pushdown, self.executor)
+        with db._snapshot_scope() as snapshot:
+            self._snap_catalog.begin(snapshot)
+            result = db._run_read(stmt, params, pushdown, self._snap_executor)
+            if self._snap_catalog.consistent():
+                db._observe_snapshot_read(snapshot, retried=False)
+                return result
+            # A writer committed into a table we were reading through live
+            # indexes; the result may mix generations.  Re-run against the
+            # versioned scan path, which is race-free at this snapshot.
+            self._snap_catalog.begin(snapshot, force_scan=True)
+            result = db._run_read(stmt, params, pushdown, self._snap_executor)
+            db._observe_snapshot_read(snapshot, retried=True)
+            return result
+
+    # -- instrumentation helpers (both executors belong to this connection) ----
+
+    @property
+    def rows_scanned(self) -> int:
+        return self.executor.rows_scanned + self._snap_executor.rows_scanned
+
+    @property
+    def pushdown_filtered(self) -> int:
+        return (
+            self.executor.pushdown_filtered
+            + self._snap_executor.pushdown_filtered
+        )
+
+    @property
+    def hash_build_rows(self) -> int:
+        return (
+            self.executor.hash_build_rows
+            + self._snap_executor.hash_build_rows
+        )
+
+
+class _ConnectionTransaction:
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+
+    def __enter__(self) -> Connection:
+        self._conn.execute("BEGIN")
+        return self._conn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._conn.execute("COMMIT")
+        elif self._conn.in_transaction:
+            self._conn.execute("ROLLBACK")
+        return False
+
+
+class ConnectionPool:
+    """Fixed-size pool of snapshot-read connections for the web tier.
+
+    ``scope()`` checks a connection out, installs it as the calling
+    thread's implicit connection on the database (so every
+    ``db.execute`` inside the request uses it), and returns it on exit —
+    rolling back any transaction a buggy handler left open.  Checkout
+    blocks when the pool is exhausted, which doubles as backpressure for
+    the threaded server, and raises :class:`~repro.errors.LockTimeout`
+    after ``checkout_timeout`` seconds.
+    """
+
+    def __init__(self, db, size: int = 4,
+                 checkout_timeout: float = DEFAULT_LOCK_TIMEOUT,
+                 lock_timeout: float | None = None) -> None:
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._db = db
+        self.size = size
+        self.checkout_timeout = checkout_timeout
+        self._idle: "queue.Queue" = queue.Queue()
+        for _ in range(size):
+            self._idle.put(
+                Connection(db, snapshot_reads=True, lock_timeout=lock_timeout)
+            )
+        self.checkouts = 0
+        self._in_use = 0
+        self._stats_lock = threading.Lock()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def checkout(self) -> Connection:
+        obs = self._db._obs or get_observability()
+        started = perf_counter()
+        try:
+            conn = self._idle.get(timeout=self.checkout_timeout)
+        except queue.Empty:
+            if obs.enabled:
+                obs.metrics.counter("sqldb.pool.checkout_timeouts").inc()
+            raise LockTimeout(
+                f"no pooled connection available within "
+                f"{self.checkout_timeout:g}s (pool size {self.size})"
+            ) from None
+        with self._stats_lock:
+            self.checkouts += 1
+            self._in_use += 1
+        if obs.enabled:
+            obs.metrics.counter("sqldb.pool.checkouts").inc()
+            obs.metrics.gauge("sqldb.pool.in_use").set(self._in_use)
+            obs.metrics.histogram("sqldb.pool.checkout_wait_seconds").observe(
+                perf_counter() - started
+            )
+        return conn
+
+    def checkin(self, conn: Connection) -> None:
+        if conn.txns.active is not None:
+            # a handler died mid-transaction: never return dirty state
+            conn.txns.rollback()
+            obs = self._db._obs or get_observability()
+            if obs.enabled:
+                obs.metrics.counter("sqldb.pool.abandoned_txns").inc()
+        with self._stats_lock:
+            self._in_use -= 1
+        self._idle.put(conn)
+
+    @contextmanager
+    def scope(self):
+        """Per-request scope: checkout + install as thread's connection."""
+        conn = self.checkout()
+        self._db._install_thread_connection(conn)
+        try:
+            yield conn
+        finally:
+            self._db._install_thread_connection(None)
+            self.checkin(conn)

@@ -17,7 +17,10 @@ recovery + checkpoints), or with no arguments for an in-memory database.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Iterator, Sequence
 
@@ -51,14 +54,19 @@ from repro.sqldb.parser.ast_nodes import (
     UpdateStmt,
 )
 from repro.obs import get_observability
+from repro.sqldb.connection import (
+    DEFAULT_LOCK_TIMEOUT,
+    Connection,
+    ConnectionPool,
+    WriterLock,
+)
 from repro.sqldb.expressions import ColumnRef, truthy
 from repro.sqldb.schema import TableSchema
 from repro.sqldb.storage import HashIndex, SortedIndex
-from repro.sqldb.transactions import TransactionManager
 from repro.sqldb.types import DatalinkValue
 from repro.sqldb.wal import WriteAheadLog
 
-__all__ = ["Database", "Result", "DatalinkHooks"]
+__all__ = ["Database", "Result", "DatalinkHooks", "Connection", "ConnectionPool"]
 
 
 class Result:
@@ -140,18 +148,29 @@ class Database:
     STATEMENT_CACHE_SIZE = 512
 
     def __init__(self, directory: str | None = None, sync: bool = False,
-                 obs=None) -> None:
-        self.catalog = Catalog()
-        self._executor = Executor(self.catalog)
-        self._wal = WriteAheadLog(directory, sync=sync) if directory else None
-        self._txns = TransactionManager(self.catalog, self._wal)
-        self._hooks: DatalinkHooks = DatalinkHooks()
-        self._statement_cache: OrderedDict[str, Statement] = OrderedDict()
-        self.statement_cache_hits = 0
-        self.statement_cache_misses = 0
+                 obs=None, lock_timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
         #: explicit observability bundle; None means "use the process-wide
         #: default at call time" (a no-op unless repro.obs.enable() ran)
         self._obs = obs
+        self.catalog = Catalog()
+        self._wal = WriteAheadLog(directory, sync=sync) if directory else None
+        self._hooks: DatalinkHooks = DatalinkHooks()
+        self._statement_cache: OrderedDict[str, Statement] = OrderedDict()
+        self._statement_cache_lock = threading.Lock()
+        self.statement_cache_hits = 0
+        self.statement_cache_misses = 0
+        #: the engine's single writer lock (see docs/CONCURRENCY.md)
+        self.writer_lock = WriterLock(lock_timeout, obs=obs)
+        #: engine-wide transaction-id allocation: atomic, never reused
+        self._txn_ids = itertools.count(1)
+        self._txn_ids_lock = threading.Lock()
+        #: active snapshot sequences -> reader count; the minimum bounds
+        #: how much row history commits must retain
+        self._snapshots: dict[int, int] = {}
+        self._snapshots_lock = threading.Lock()
+        #: per-thread implicit connection (``execute`` without ``connect``),
+        #: plus the pool's per-request override
+        self._tls = threading.local()
         #: identity of the requesting user, consulted when issuing tokens
         self.current_user: str | None = None
         #: populated by recovery on durable databases: replayed/skipped
@@ -159,6 +178,90 @@ class Database:
         self.recovery_stats: dict[str, int] | None = None
         if self._wal is not None:
             self._recover()
+
+    # -- connections -------------------------------------------------------------
+
+    def connect(self, snapshot_reads: bool = True,
+                lock_timeout: float | None = None) -> Connection:
+        """Open an independent connection with its own transaction state.
+
+        ``snapshot_reads=True`` (the default) gives the connection
+        per-statement snapshot isolation on autocommit reads, so it never
+        blocks on the writer; ``lock_timeout`` overrides the engine-wide
+        writer-lock timeout for this connection's writes.
+        """
+        return Connection(
+            self, snapshot_reads=snapshot_reads, lock_timeout=lock_timeout
+        )
+
+    def _allocate_txn_id(self) -> int:
+        with self._txn_ids_lock:
+            return next(self._txn_ids)
+
+    def _connection(self) -> Connection:
+        """The calling thread's implicit connection.
+
+        A pool-installed override wins; otherwise each thread lazily gets
+        its own default connection with live (non-snapshot) reads, which
+        preserves exact historical single-connection semantics for
+        ``Database.execute``.
+        """
+        override = getattr(self._tls, "override", None)
+        if override is not None:
+            return override
+        conn = getattr(self._tls, "conn", None)
+        if conn is None:
+            conn = Connection(self, snapshot_reads=False)
+            self._tls.conn = conn
+        return conn
+
+    def _install_thread_connection(self, conn: Connection | None) -> None:
+        """Install (or with None, remove) the thread's override connection
+        — how the pool scopes a pooled connection to one request."""
+        self._tls.override = conn
+
+    # back-compat introspection: the thread's connection-scoped objects
+    @property
+    def _txns(self):
+        return self._connection().txns
+
+    @property
+    def _executor(self):
+        return self._connection().executor
+
+    # -- snapshot registry --------------------------------------------------------
+
+    @contextmanager
+    def _snapshot_scope(self):
+        """Pin the current committed sequence for one read statement."""
+        with self._snapshots_lock:
+            snapshot = self.catalog.clock.committed
+            self._snapshots[snapshot] = self._snapshots.get(snapshot, 0) + 1
+        try:
+            yield snapshot
+        finally:
+            with self._snapshots_lock:
+                count = self._snapshots.get(snapshot, 1) - 1
+                if count > 0:
+                    self._snapshots[snapshot] = count
+                else:
+                    self._snapshots.pop(snapshot, None)
+
+    def snapshot_floor(self) -> int | None:
+        """Oldest snapshot still being read (None when no reader active)."""
+        with self._snapshots_lock:
+            return min(self._snapshots) if self._snapshots else None
+
+    def _observe_snapshot_read(self, snapshot: int, retried: bool) -> None:
+        obs = self._obs or get_observability()
+        if not obs.enabled:
+            return
+        obs.metrics.counter("sqldb.snapshot.reads").inc()
+        obs.metrics.histogram("sqldb.snapshot.age_commits").observe(
+            self.catalog.clock.committed - snapshot
+        )
+        if retried:
+            obs.metrics.counter("sqldb.snapshot.retries").inc()
 
     # -- configuration -----------------------------------------------------------
 
@@ -181,21 +284,30 @@ class Database:
         nested-loop / filter-at-the-end path — the escape hatch the
         differential tests compare against.
         """
+        return self._execute_on(self._connection(), sql, params, pushdown)
+
+    def _execute_on(self, conn: Connection, sql: str, params: Sequence[Any],
+                    pushdown: bool) -> Result:
+        stmt = self._parse_cached(sql)
+        return self._execute_statement_on(conn, stmt, params, sql, pushdown)
+
+    def _parse_cached(self, sql: str) -> Statement:
+        """Statement-cache lookup, thread-safe; parsing runs unlocked."""
         cache = self._statement_cache
-        stmt = cache.get(sql)
-        if stmt is None:
+        with self._statement_cache_lock:
+            stmt = cache.get(sql)
+            if stmt is not None:
+                self.statement_cache_hits += 1
+                cache.move_to_end(sql)
+                return stmt
             self.statement_cache_misses += 1
-            stmt = parse_sql(sql)
-            if len(cache) >= self.STATEMENT_CACHE_SIZE:
-                cache.popitem(last=False)
-            cache[sql] = stmt
-        else:
-            self.statement_cache_hits += 1
-            cache.move_to_end(sql)
-        obs = self._obs or get_observability()
-        if not obs.enabled:  # skip the instrumentation wrapper entirely
-            return self._dispatch_statement(stmt, params, sql, pushdown)
-        return self._execute_instrumented(obs, stmt, params, sql, pushdown)
+        stmt = parse_sql(sql)
+        with self._statement_cache_lock:
+            if sql not in cache:
+                if len(cache) >= self.STATEMENT_CACHE_SIZE:
+                    cache.popitem(last=False)
+                cache[sql] = stmt
+        return stmt
 
     @property
     def statement_cache_stats(self) -> dict[str, float]:
@@ -228,30 +340,39 @@ class Database:
         self, stmt: Statement, params: Sequence[Any] = (),
         sql: str | None = None, pushdown: bool = True,
     ) -> Result:
+        return self._execute_statement_on(
+            self._connection(), stmt, params, sql, pushdown
+        )
+
+    def _execute_statement_on(
+        self, conn: Connection, stmt: Statement, params: Sequence[Any],
+        sql: str | None = None, pushdown: bool = True,
+    ) -> Result:
         obs = self._obs or get_observability()
         if not obs.enabled:
-            return self._dispatch_statement(stmt, params, sql, pushdown)
-        return self._execute_instrumented(obs, stmt, params, sql, pushdown)
+            return self._dispatch_statement(conn, stmt, params, sql, pushdown)
+        return self._execute_instrumented(obs, conn, stmt, params, sql, pushdown)
 
     def _execute_instrumented(
         self,
         obs,
+        conn: Connection,
         stmt: Statement,
         params: Sequence[Any],
         sql: str | None,
         pushdown: bool = True,
     ) -> Result:
         kind = type(stmt).__name__.removesuffix("Stmt").upper()
-        scanned_before = self._executor.rows_scanned
-        pushed_before = self._executor.pushdown_filtered
-        hashed_before = self._executor.hash_build_rows
+        scanned_before = conn.rows_scanned
+        pushed_before = conn.pushdown_filtered
+        hashed_before = conn.hash_build_rows
         with obs.tracer.span(
             "sql.statement", statement=kind, sql=sql or f"<{kind}>"
         ) as span:
             started = perf_counter()
-            result = self._dispatch_statement(stmt, params, sql, pushdown)
+            result = self._dispatch_statement(conn, stmt, params, sql, pushdown)
             elapsed = perf_counter() - started
-        scanned = self._executor.rows_scanned - scanned_before
+        scanned = conn.rows_scanned - scanned_before
         span.set(
             elapsed=elapsed,
             rows=len(result.rows) or result.rowcount,
@@ -261,10 +382,10 @@ class Database:
         metrics.counter("sql.statements", kind=kind).inc()
         metrics.counter("sql.rows_returned").inc(len(result.rows))
         metrics.counter("sql.rows_scanned").inc(scanned)
-        pushed = self._executor.pushdown_filtered - pushed_before
+        pushed = conn.pushdown_filtered - pushed_before
         if pushed:
             metrics.counter("sqldb.scan.pushdown_filtered").inc(pushed)
-        hashed = self._executor.hash_build_rows - hashed_before
+        hashed = conn.hash_build_rows - hashed_before
         if hashed:
             metrics.counter("sqldb.join.hash_build_rows").inc(hashed)
         metrics.histogram("sql.statement_seconds").observe(elapsed)
@@ -281,45 +402,38 @@ class Database:
         return result
 
     def _dispatch_statement(
-        self, stmt: Statement, params: Sequence[Any], sql: str | None,
-        pushdown: bool = True,
+        self, conn: Connection, stmt: Statement, params: Sequence[Any],
+        sql: str | None, pushdown: bool = True,
     ) -> Result:
-        if isinstance(stmt, SelectStmt):
-            return self._execute_select(stmt, params, pushdown)
-        if isinstance(stmt, UnionStmt):
-            return self._execute_union(stmt, params, pushdown)
-        if isinstance(stmt, ExplainStmt):
-            if stmt.analyze:
-                return self._execute_explain_analyze(stmt, params, pushdown)
-            result = self._executor.execute_select(
-                stmt.select, params, optimize=pushdown
-            )
-            return Result(
-                ["PLAN"], [(step,) for step in result.plan],
-                rowcount=len(result.plan),
-            )
+        if isinstance(stmt, (SelectStmt, UnionStmt, ExplainStmt)):
+            return conn._execute_read(stmt, params, pushdown)
         if isinstance(stmt, BeginStmt):
-            self._txns.begin(explicit=True)
+            conn.txns.begin(explicit=True)
             return Result()
         if isinstance(stmt, CommitStmt):
-            if not self._txns.in_explicit_transaction:
+            if not conn.txns.in_explicit_transaction:
                 raise TransactionError("COMMIT outside a transaction")
-            self._txns.commit()
+            conn.txns.commit()
             return Result()
         if isinstance(stmt, RollbackStmt):
-            if not self._txns.in_explicit_transaction:
+            if not conn.txns.in_explicit_transaction:
                 raise TransactionError("ROLLBACK outside a transaction")
-            self._txns.rollback()
+            conn.txns.rollback()
             return Result()
 
-        txn, owns = self._txns.ensure()
-        stmt_mark = self._txns.statement_mark(txn)
+        # All remaining statements mutate; serialise through the writer
+        # lock *before* creating transaction state, so a timeout leaves the
+        # connection untouched.  No-op when this connection already holds
+        # the lock (explicit transaction with earlier writes).
+        conn.txns.acquire_writer(conn.lock_timeout)
+        txn, owns = conn.txns.ensure()
+        stmt_mark = conn.txns.statement_mark(txn)
         hook_mark = self._hooks.statement_mark(txn)
         try:
             if isinstance(stmt, CreateTableStmt):
-                result = self._execute_create_table(stmt, txn, sql)
+                result = self._execute_create_table(conn, stmt, txn, sql)
             elif isinstance(stmt, CreateViewStmt):
-                result = self._execute_create_view(stmt, txn, sql)
+                result = self._execute_create_view(conn, stmt, txn, sql)
             elif isinstance(stmt, DropViewStmt):
                 result = self._execute_drop_view(stmt, txn)
             elif isinstance(stmt, AlterTableStmt):
@@ -327,30 +441,49 @@ class Database:
             elif isinstance(stmt, DropTableStmt):
                 result = self._execute_drop_table(stmt, txn)
             elif isinstance(stmt, CreateIndexStmt):
-                result = self._execute_create_index(stmt, txn, sql)
+                result = self._execute_create_index(conn, stmt, txn, sql)
             elif isinstance(stmt, DropIndexStmt):
                 result = self._execute_drop_index(stmt)
             elif isinstance(stmt, InsertStmt):
-                result = self._execute_insert(stmt, params, txn)
+                result = self._execute_insert(conn, stmt, params, txn)
             elif isinstance(stmt, UpdateStmt):
-                result = self._execute_update(stmt, params, txn)
+                result = self._execute_update(conn, stmt, params, txn)
             elif isinstance(stmt, DeleteStmt):
-                result = self._execute_delete(stmt, params, txn)
+                result = self._execute_delete(conn, stmt, params, txn)
             else:
                 raise SqlSyntaxError(f"unsupported statement {type(stmt).__name__}")
         except Exception:
             if owns:
-                self._txns.rollback()
+                conn.txns.rollback()
             else:
                 # Statement-level atomicity inside an explicit transaction:
                 # a failed statement leaves no partial effects, but earlier
                 # statements of the transaction survive.
-                self._txns.statement_rollback(txn, stmt_mark)
+                conn.txns.statement_rollback(txn, stmt_mark)
                 self._hooks.statement_rollback(txn, hook_mark)
             raise
         if owns:
-            self._txns.commit()
+            conn.txns.commit()
         return result
+
+    def _run_read(self, stmt: Statement, params: Sequence[Any],
+                  pushdown: bool, executor: Executor) -> Result:
+        """Execute a read statement against the given executor — either a
+        connection's live executor or its snapshot executor (the snapshot
+        read path runs the *whole* statement, UNION branches included,
+        against one snapshot)."""
+        if isinstance(stmt, SelectStmt):
+            return self._select_result(stmt, params, pushdown, executor)
+        if isinstance(stmt, UnionStmt):
+            return self._execute_union(stmt, params, pushdown, executor)
+        assert isinstance(stmt, ExplainStmt)
+        if stmt.analyze:
+            return self._execute_explain_analyze(stmt, params, pushdown, executor)
+        result = executor.execute_select(stmt.select, params, optimize=pushdown)
+        return Result(
+            ["PLAN"], [(step,) for step in result.plan],
+            rowcount=len(result.plan),
+        )
 
     def transaction(self) -> "_TransactionContext":
         """Context manager: BEGIN on enter, COMMIT on success, ROLLBACK on
@@ -376,11 +509,13 @@ class Database:
 
     def _execute_explain_analyze(self, stmt: ExplainStmt,
                                  params: Sequence[Any],
-                                 pushdown: bool = True) -> Result:
+                                 pushdown: bool = True,
+                                 executor: Executor | None = None) -> Result:
         """EXPLAIN ANALYZE: run the SELECT and annotate every plan step
         with the rows it produced and its measured (cumulative) time."""
+        executor = executor if executor is not None else self._executor
         started = perf_counter()
-        result = self._executor.execute_select(
+        result = executor.execute_select(
             stmt.select, params, analyze=True, optimize=pushdown
         )
         total = perf_counter() - started
@@ -402,7 +537,8 @@ class Database:
 
     # -- DDL -----------------------------------------------------------------------
 
-    def _execute_create_table(self, stmt: CreateTableStmt, txn, sql: str | None) -> Result:
+    def _execute_create_table(self, conn: Connection, stmt: CreateTableStmt,
+                              txn, sql: str | None) -> Result:
         if stmt.if_not_exists and self.catalog.has_table(stmt.name):
             return Result()
         schema = TableSchema(
@@ -414,13 +550,14 @@ class Database:
             checks=stmt.checks,
         )
         self.catalog.create_table(schema)
-        self._txns.record_ddl(txn, ("create_table", stmt.name), sql or schema.ddl())
+        conn.txns.record_ddl(txn, ("create_table", stmt.name), sql or schema.ddl())
         return Result()
 
-    def _execute_create_view(self, stmt: CreateViewStmt, txn, sql: str | None) -> Result:
+    def _execute_create_view(self, conn: Connection, stmt: CreateViewStmt,
+                             txn, sql: str | None) -> Result:
         # Dry-run the stored SELECT so bad definitions (unknown tables,
         # duplicate output names) fail at CREATE VIEW time, not first use.
-        probe = self._executor.execute_select(stmt.select)
+        probe = conn.executor.execute_select(stmt.select)
         seen: set[str] = set()
         for label in probe.columns:
             if label in seen:
@@ -493,7 +630,8 @@ class Database:
         txn.redo.append({"op": "ddl", "sql": f"DROP TABLE {stmt.name}"})
         return Result()
 
-    def _execute_create_index(self, stmt: CreateIndexStmt, txn, sql: str | None) -> Result:
+    def _execute_create_index(self, conn: Connection, stmt: CreateIndexStmt,
+                              txn, sql: str | None) -> Result:
         table = self._writable_table(stmt.table)
         index_cls = HashIndex if stmt.unique else SortedIndex
         index = index_cls(stmt.name, stmt.columns, unique=stmt.unique)
@@ -503,7 +641,7 @@ class Database:
             f"CREATE {'UNIQUE ' if stmt.unique else ''}INDEX {stmt.name} "
             f"ON {stmt.table} ({', '.join(stmt.columns)})"
         )
-        self._txns.record_ddl(txn, ("create_index", stmt.name), rendered)
+        conn.txns.record_ddl(txn, ("create_index", stmt.name), rendered)
         return Result()
 
     def _execute_drop_index(self, stmt: DropIndexStmt) -> Result:
@@ -517,12 +655,13 @@ class Database:
             raise CatalogError(f"{name} is a read-only system catalog view")
         return self.catalog.table(name)
 
-    def _execute_insert(self, stmt: InsertStmt, params: Sequence[Any], txn) -> Result:
+    def _execute_insert(self, conn: Connection, stmt: InsertStmt,
+                        params: Sequence[Any], txn) -> Result:
         table = self._writable_table(stmt.table)
         schema = table.schema
         count = 0
         if stmt.select is not None:
-            source = self._executor.execute_select(stmt.select, params)
+            source = conn.executor.execute_select(stmt.select, params)
             value_rows: list[list[Any]] = [list(row) for row in source.rows]
         else:
             value_rows = [
@@ -549,14 +688,15 @@ class Database:
                         schema.name, column.name, value, column.type.spec, txn
                     )
             rowid, stored = table.insert(validated)
-            self._txns.record_insert(txn, schema.name, rowid, stored)
+            conn.txns.record_insert(txn, schema.name, rowid, stored)
             count += 1
         return Result(rowcount=count)
 
-    def _execute_update(self, stmt: UpdateStmt, params: Sequence[Any], txn) -> Result:
+    def _execute_update(self, conn: Connection, stmt: UpdateStmt,
+                        params: Sequence[Any], txn) -> Result:
         table = self._writable_table(stmt.table)
         schema = table.schema
-        targets = self._matching_rowids(table, stmt.where, params)
+        targets = self._matching_rowids(conn, table, stmt.where, params)
         count = 0
         for rowid in targets:
             old_row = table.row(rowid)
@@ -586,14 +726,15 @@ class Database:
                         schema.name, column.name, new_value, column.type.spec, txn
                     )
             old, new = table.update(rowid, validated)
-            self._txns.record_update(txn, schema.name, rowid, old, new)
+            conn.txns.record_update(txn, schema.name, rowid, old, new)
             count += 1
         return Result(rowcount=count)
 
-    def _execute_delete(self, stmt: DeleteStmt, params: Sequence[Any], txn) -> Result:
+    def _execute_delete(self, conn: Connection, stmt: DeleteStmt,
+                        params: Sequence[Any], txn) -> Result:
         table = self._writable_table(stmt.table)
         schema = table.schema
-        targets = self._matching_rowids(table, stmt.where, params)
+        targets = self._matching_rowids(conn, table, stmt.where, params)
         count = 0
         for rowid in targets:
             row = table.row(rowid)
@@ -605,15 +746,16 @@ class Database:
                         schema.name, column.name, value, column.type.spec, txn
                     )
             removed = table.delete(rowid)
-            self._txns.record_delete(txn, schema.name, rowid, removed)
+            conn.txns.record_delete(txn, schema.name, rowid, removed)
             count += 1
         return Result(rowcount=count)
 
-    def _matching_rowids(self, table, where, params: Sequence[Any]) -> list[int]:
+    def _matching_rowids(self, conn: Connection, table, where,
+                         params: Sequence[Any]) -> list[int]:
         schema = table.schema
         if where is not None:
             # UPDATE/DELETE predicates may contain (uncorrelated) subqueries.
-            self._executor.bind_subqueries([where], params)
+            conn.executor.bind_subqueries([where], params)
         candidates = self._candidate_rowids(table, where, params)
         out = []
         for rowid in candidates:
@@ -747,16 +889,18 @@ class Database:
     # -- SELECT -----------------------------------------------------------------------
 
     def _execute_union(self, stmt: UnionStmt, params: Sequence[Any],
-                       pushdown: bool = True) -> Result:
+                       pushdown: bool = True,
+                       executor: Executor | None = None) -> Result:
         """UNION / UNION ALL over compatible selects.
 
         Column labels come from the first select; every branch must yield
         the same column count.  Plain UNION removes duplicate rows.
         """
-        first = self._execute_select(stmt.selects[0], params, pushdown)
+        executor = executor if executor is not None else self._executor
+        first = self._select_result(stmt.selects[0], params, pushdown, executor)
         rows = list(first.rows)
         for branch in stmt.selects[1:]:
-            branch_result = self._execute_select(branch, params, pushdown)
+            branch_result = self._select_result(branch, params, pushdown, executor)
             if len(branch_result.columns) != len(first.columns):
                 raise SqlSyntaxError(
                     f"UNION branches have {len(first.columns)} and "
@@ -776,9 +920,9 @@ class Database:
             rows = deduped
         return Result(first.columns, rows, rowcount=len(rows))
 
-    def _execute_select(self, stmt: SelectStmt, params: Sequence[Any],
-                        pushdown: bool = True) -> Result:
-        result = self._executor.execute_select(stmt, params, optimize=pushdown)
+    def _select_result(self, stmt: SelectStmt, params: Sequence[Any],
+                       pushdown: bool, executor: Executor) -> Result:
+        result = executor.execute_select(stmt, params, optimize=pushdown)
         rows = self._decorate_datalinks(result)
         return Result(result.columns, rows, rowcount=len(rows), plan=result.plan)
 
@@ -828,18 +972,28 @@ class Database:
     # -- durability ----------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Serialise the full database state and truncate the WAL."""
+        """Serialise the full database state and truncate the WAL.
+
+        Holds the writer lock for the duration so the snapshot captures a
+        committed state with no writer mid-transaction.  Must not be
+        called by a thread already holding the lock (the lock is not
+        reentrant) — i.e. not from inside an explicit transaction.
+        """
         if self._wal is None:
             raise RecoveryUnavailable()
-        snapshot = {
-            "ddl": self.catalog.ddl_script(),
-            "indexes": self._user_indexes_ddl(),
-            "tables": {
-                table.schema.name: WriteAheadLog.encode_table_rows(table.scan())
-                for table in self.catalog.tables()
-            },
-        }
-        self._wal.write_checkpoint(snapshot)
+        self.writer_lock.acquire()
+        try:
+            snapshot = {
+                "ddl": self.catalog.ddl_script(),
+                "indexes": self._user_indexes_ddl(),
+                "tables": {
+                    table.schema.name: WriteAheadLog.encode_table_rows(table.scan())
+                    for table in self.catalog.tables()
+                },
+            }
+            self._wal.write_checkpoint(snapshot)
+        finally:
+            self.writer_lock.release()
 
     def _user_indexes_ddl(self) -> list[str]:
         out = []
@@ -910,6 +1064,10 @@ class Database:
                 self._replay(op)
             replayed += 1
         torn_bytes = self._wal.repair_torn_tail()
+        # Rows loaded above were stamped at the pending sequence while the
+        # clock sat at 0; one commit makes the entire recovered state the
+        # first committed snapshot.
+        self.catalog.clock.commit()
         self.recovery_stats = {
             "replayed_txns": replayed,
             "skipped_stale": skipped,

@@ -6,6 +6,30 @@ hash index; ``CREATE INDEX`` adds further hash or sorted indexes.  Type and
 NOT NULL validation happen in the schema layer; uniqueness is enforced
 here; referential integrity spans tables and is enforced by the database
 facade.
+
+Concurrency (MVCC-lite)
+-----------------------
+
+The heap keeps enough version history for readers to scan a *stable
+snapshot* while a single serialized writer mutates the live rows:
+
+* a :class:`VersionClock` ticks once per committed writing transaction;
+  ``clock.pending`` is the sequence number the open transaction's changes
+  will become visible at,
+* every live row remembers the sequence it was created at,
+* deleting or rewriting a *committed* row first pushes the old version —
+  ``(created, deleted, row)`` — onto that rowid's history list.
+
+A version is visible at snapshot ``S`` iff ``created <= S < deleted``
+(live rows have ``deleted = infinity``).  Because there is at most one
+writer, a rowid never has more than one version visible at any snapshot.
+History entries whose ``deleted`` is at or below the oldest snapshot still
+registered are pruned at commit (see ``TransactionManager``).
+
+Mutation orders its bookkeeping so that snapshot scans — which run with
+no lock at all, relying on the GIL's atomic dict operations — never
+observe a torn state: history is recorded *before* the live row vanishes,
+and a row's created-sequence is advanced *before* its new image lands.
 """
 
 from __future__ import annotations
@@ -15,15 +39,44 @@ from typing import Any, Iterator, Sequence
 
 from repro.errors import CatalogError, TypeMismatchError, UniqueViolation
 
-__all__ = ["Heap", "HashIndex", "SortedIndex", "Table"]
+__all__ = ["Heap", "HashIndex", "SortedIndex", "Table", "VersionClock"]
+
+
+class VersionClock:
+    """Monotonic commit counter shared by every table of one database.
+
+    ``committed`` is the sequence of the most recent committed writing
+    transaction; ``pending`` is the sequence the currently open writer's
+    changes will carry.  Bumped only under the writer lock, so plain int
+    assignment is safe.
+    """
+
+    __slots__ = ("committed",)
+
+    def __init__(self) -> None:
+        self.committed = 0
+
+    @property
+    def pending(self) -> int:
+        return self.committed + 1
+
+    def commit(self) -> int:
+        """Make the pending generation visible; returns the new sequence."""
+        self.committed += 1
+        return self.committed
 
 
 class Heap:
     """Append-mostly row store addressed by integer rowids."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: VersionClock | None = None) -> None:
         self._rows: dict[int, tuple] = {}
         self._next_rowid = 1
+        self.clock = clock if clock is not None else VersionClock()
+        #: rowid -> sequence the live row became (or will become) visible at
+        self._created: dict[int, int] = {}
+        #: rowid -> [(created, deleted, row), ...] superseded versions
+        self._history: dict[int, list[tuple[int, int, tuple]]] = {}
 
     def insert(self, row: tuple, rowid: int | None = None) -> int:
         """Store ``row``; returns its rowid.
@@ -38,22 +91,53 @@ class Heap:
             if rowid in self._rows:
                 raise CatalogError(f"rowid {rowid} already present")
             self._next_rowid = max(self._next_rowid, rowid + 1)
+        # created must land before the row so a concurrent snapshot scan
+        # that sees the row also sees that it is not yet committed
+        self._created[rowid] = self.clock.pending
         self._rows[rowid] = row
         return rowid
 
     def delete(self, rowid: int) -> tuple:
         try:
-            return self._rows.pop(rowid)
+            row = self._rows[rowid]
         except KeyError:
             raise CatalogError(f"no row with rowid {rowid}") from None
+        created = self._created.get(rowid, 0)
+        if created <= self.clock.committed:
+            # committed version: keep it readable for older snapshots
+            self._history.setdefault(rowid, []).append(
+                (created, self.clock.pending, row)
+            )
+        del self._rows[rowid]
+        self._created.pop(rowid, None)
+        return row
 
     def update(self, rowid: int, row: tuple) -> tuple:
         try:
             old = self._rows[rowid]
         except KeyError:
             raise CatalogError(f"no row with rowid {rowid}") from None
+        created = self._created.get(rowid, 0)
+        if created <= self.clock.committed:
+            self._history.setdefault(rowid, []).append(
+                (created, self.clock.pending, old)
+            )
+            # advance created before the new image lands: a scan that sees
+            # the new row must classify it as uncommitted
+            self._created[rowid] = self.clock.pending
         self._rows[rowid] = row
         return old
+
+    def rewrite(self, rowid: int, row: tuple) -> None:
+        """Replace a row in place with *no* version bookkeeping.
+
+        Used by schema evolution (ALTER TABLE backfills), where every
+        stored row changes arity and historical versions become
+        meaningless; callers clear the history afterwards.
+        """
+        if rowid not in self._rows:
+            raise CatalogError(f"no row with rowid {rowid}")
+        self._rows[rowid] = row
 
     def get(self, rowid: int) -> tuple:
         try:
@@ -64,6 +148,83 @@ class Heap:
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield ``(rowid, row)`` pairs in insertion order."""
         yield from list(self._rows.items())
+
+    # -- snapshot reads ---------------------------------------------------------
+
+    def scan_at(self, snapshot: int) -> list[tuple[int, tuple]]:
+        """``(rowid, row)`` pairs visible at ``snapshot``, lock-free.
+
+        Safe against one concurrent writer: ``list(dict.items())`` is
+        atomic under the GIL, mutation records history before removing
+        live rows, and a live row whose created-sequence vanished mid-scan
+        is deferred to the history pass (which then has the authoritative
+        version interval).
+        """
+        out: list[tuple[int, tuple]] = []
+        live_seen: set[int] = set()
+        for rowid, row in list(self._rows.items()):
+            created = self._created.get(rowid)
+            if created is None:
+                continue  # deleted under us; the history pass decides
+            if created <= snapshot:
+                out.append((rowid, row))
+                live_seen.add(rowid)
+        for rowid, versions in list(self._history.items()):
+            if rowid in live_seen:
+                continue
+            for created, deleted, row in list(versions):
+                if created <= snapshot < deleted:
+                    out.append((rowid, row))
+                    break
+        return out
+
+    def get_at(self, rowid: int, snapshot: int) -> tuple:
+        """The version of ``rowid`` visible at ``snapshot``.
+
+        Falls back to the live row when no version is visible (an index
+        handed out a rowid the snapshot should not see — only possible
+        when a writer raced the read, which the snapshot-validation layer
+        detects and retries).
+        """
+        row = self._rows.get(rowid)
+        if row is not None:
+            created = self._created.get(rowid)
+            if created is not None and created <= snapshot:
+                return row
+        for created, deleted, old in list(self._history.get(rowid, ())):
+            if created <= snapshot < deleted:
+                return old
+        if row is not None:
+            return row
+        raise CatalogError(f"no row with rowid {rowid}")
+
+    def prune_history(self, floor: int) -> int:
+        """Drop versions invisible to every snapshot at or above ``floor``.
+
+        Returns the number of versions removed.  Called at commit with the
+        oldest registered snapshot (or the new committed sequence when no
+        snapshot is active).
+        """
+        removed = 0
+        for rowid in list(self._history):
+            versions = self._history.get(rowid)
+            if versions is None:
+                continue
+            keep = [v for v in versions if v[1] > floor]
+            removed += len(versions) - len(keep)
+            if keep:
+                self._history[rowid] = keep
+            else:
+                self._history.pop(rowid, None)
+        return removed
+
+    def clear_history(self) -> None:
+        self._history.clear()
+
+    @property
+    def history_versions(self) -> int:
+        """Total retained superseded versions (observability)."""
+        return sum(len(v) for v in list(self._history.values()))
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -258,9 +419,12 @@ class Table:
     :meth:`update` so that every index stays consistent with the heap.
     """
 
-    def __init__(self, schema) -> None:
+    def __init__(self, schema, clock: VersionClock | None = None) -> None:
         self.schema = schema
-        self.heap = Heap()
+        self.heap = Heap(clock)
+        #: sequence of the youngest (possibly uncommitted) mutation; a
+        #: snapshot ``S`` sees the table unchanged iff ``version_seq <= S``
+        self.version_seq = 0
         self.indexes: dict[str, HashIndex | SortedIndex] = {}
         if schema.primary_key:
             self.add_index(
@@ -324,12 +488,14 @@ class Table:
     def insert(self, row: Sequence[Any], rowid: int | None = None) -> tuple[int, tuple]:
         validated = self.schema.validate_row(row)
         self._check_unique(validated)
+        self.version_seq = self.heap.clock.pending
         rowid = self.heap.insert(validated, rowid)
         for index in self.indexes.values():
             index.add(self.schema.key_of(validated, index.columns), rowid)
         return rowid, validated
 
     def delete(self, rowid: int) -> tuple:
+        self.version_seq = self.heap.clock.pending
         row = self.heap.delete(rowid)
         for index in self.indexes.values():
             index.remove(self.schema.key_of(row, index.columns), rowid)
@@ -340,6 +506,7 @@ class Table:
         validated = self.schema.validate_row(new_row)
         old = self.heap.get(rowid)
         self._check_unique(validated, ignore_rowid=rowid)
+        self.version_seq = self.heap.clock.pending
         self.heap.update(rowid, validated)
         for index in self.indexes.values():
             old_key = self.schema.key_of(old, index.columns)
@@ -381,8 +548,12 @@ class Table:
             )
         self.schema.columns.append(column)
         self.schema._by_name[column.name] = len(self.schema.columns) - 1
+        # Schema evolution rewrites rows in place (no per-row versions:
+        # old-arity images would not match the mutated schema anyway).
+        self.version_seq = self.heap.clock.pending
         for rowid, row in self.heap.scan():
-            self.heap.update(rowid, row + (default,))
+            self.heap.rewrite(rowid, row + (default,))
+        self.heap.clear_history()
 
     def drop_column(self, name: str) -> list:
         """ALTER TABLE DROP COLUMN: remove the column and its stored
@@ -410,11 +581,13 @@ class Table:
                     f"cannot drop column {name}: used by a CHECK constraint"
                 )
         dropped = []
+        self.version_seq = self.heap.clock.pending
         for rowid, row in self.heap.scan():
             dropped.append(row[index_position])
-            self.heap.update(
+            self.heap.rewrite(
                 rowid, row[:index_position] + row[index_position + 1:]
             )
+        self.heap.clear_history()
         del self.schema.columns[index_position]
         self.schema._by_name = {
             c.name: i for i, c in enumerate(self.schema.columns)

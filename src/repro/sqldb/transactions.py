@@ -11,25 +11,46 @@ keeps:
   applied or discarded *atomically with* the database changes.  This is
   SQL/MED's "transaction consistency": "changes affecting both the database
   and external files are executed within a transaction".
+
+Concurrency: every :class:`~repro.sqldb.connection.Connection` owns its own
+:class:`TransactionManager`, so transaction *state* is connection-scoped,
+while the pieces that must be global — transaction-id allocation, the
+writer lock, the version clock, the WAL — are shared engine objects passed
+in by :class:`~repro.sqldb.database.Database`.  A manager that makes
+changes holds the writer lock from its first write until commit/rollback
+completes, and bumps the version clock at commit so snapshot readers see
+the transaction's changes atomically.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import Any, Callable
 
-from repro.errors import TransactionError
+from repro.errors import CatalogError, TransactionError
+from repro.obs import get_observability
 
 __all__ = ["Transaction", "TransactionManager"]
+
+# Fallback id source for transactions constructed outside a Database (unit
+# tests, standalone managers).  Database instances install their own
+# allocator so ids are dense per engine; both are lock-guarded, fixing the
+# racy ``Transaction._next_id`` class attribute this replaces.
+_fallback_ids = itertools.count(1)
+_fallback_lock = threading.Lock()
+
+
+def _allocate_fallback_id() -> int:
+    with _fallback_lock:
+        return next(_fallback_ids)
 
 
 class Transaction:
     """State for one open transaction."""
 
-    _next_id = 1
-
-    def __init__(self, explicit: bool) -> None:
-        self.txn_id = Transaction._next_id
-        Transaction._next_id += 1
+    def __init__(self, explicit: bool, txn_id: int | None = None) -> None:
+        self.txn_id = txn_id if txn_id is not None else _allocate_fallback_id()
         #: True for user BEGIN...COMMIT; False for per-statement autocommit
         self.explicit = explicit
         self.undo: list[tuple] = []
@@ -49,12 +70,34 @@ class Transaction:
 
 
 class TransactionManager:
-    """Owns the open transaction and applies commit/rollback protocols."""
+    """Owns one connection's open transaction and applies commit/rollback
+    protocols.
 
-    def __init__(self, catalog, wal=None) -> None:
+    ``id_allocator``, ``clock``, ``writer`` and ``snapshot_floor`` are the
+    engine-level shared objects (all optional, so a bare
+    ``TransactionManager(catalog, wal)`` still behaves as the historical
+    single-connection manager):
+
+    * ``id_allocator()`` returns the next transaction id (thread-safe),
+    * ``clock`` is the :class:`~repro.sqldb.storage.VersionClock` bumped at
+      commit so snapshot readers atomically see the new state,
+    * ``writer`` is the engine writer lock; :meth:`acquire_writer` takes it
+      before the first write and commit/rollback always release it,
+    * ``snapshot_floor()`` returns the oldest snapshot sequence still
+      registered (or None) — the bound below which row history is pruned.
+    """
+
+    def __init__(self, catalog, wal=None, *, id_allocator=None, clock=None,
+                 writer=None, snapshot_floor=None, obs=None) -> None:
         self._catalog = catalog
         self._wal = wal
         self._current: Transaction | None = None
+        self._ids = id_allocator or _allocate_fallback_id
+        self._clock = clock
+        self._writer = writer
+        self._snapshot_floor = snapshot_floor
+        self._obs = obs
+        self._writer_held = False
 
     @property
     def active(self) -> Transaction | None:
@@ -64,12 +107,16 @@ class TransactionManager:
     def in_explicit_transaction(self) -> bool:
         return self._current is not None and self._current.explicit
 
+    @property
+    def holds_writer_lock(self) -> bool:
+        return self._writer_held
+
     # -- lifecycle ------------------------------------------------------------
 
     def begin(self, explicit: bool = True) -> Transaction:
         if self._current is not None:
             raise TransactionError("a transaction is already open")
-        self._current = Transaction(explicit)
+        self._current = Transaction(explicit, txn_id=self._ids())
         return self._current
 
     def ensure(self) -> tuple[Transaction, bool]:
@@ -82,37 +129,101 @@ class TransactionManager:
             return self._current, False
         return self.begin(explicit=False), True
 
+    def acquire_writer(self, timeout: float | None = None) -> None:
+        """Take the engine writer lock for this connection.
+
+        No-op without a configured lock or when already held.  Raises
+        :class:`~repro.errors.LockTimeout` when the lock cannot be
+        acquired in time; in that case no state has changed and the
+        caller's statement simply fails.
+        """
+        if self._writer is None or self._writer_held:
+            return
+        self._writer.acquire(timeout)
+        self._writer_held = True
+
+    def _release_writer(self) -> None:
+        if self._writer_held:
+            self._writer_held = False
+            self._writer.release()
+
     def commit(self) -> None:
         txn = self._current
         if txn is None:
             raise TransactionError("no transaction to commit")
-        # Durability first: flush redo records before acknowledging.  If
-        # the append fails (I/O error) the transaction stays open, so an
-        # explicit ROLLBACK can still undo the in-memory changes.
-        if self._wal is not None and txn.redo:
-            txn.commit_lsn = self._wal.append_transaction(txn.txn_id, txn.redo)
-        self._current = None
-        failures = []
-        for hook in txn.on_commit:
-            try:
-                hook()
-            except Exception as exc:  # pragma: no cover - defensive
-                # InjectedCrash subclasses BaseException on purpose: a
-                # simulated crash must propagate, not be collected here.
-                failures.append(exc)
-        if failures:
-            raise TransactionError(
-                f"commit hooks failed: {failures[0]}"
-            ) from failures[0]
+        try:
+            # Durability first: flush redo records before acknowledging.  If
+            # the append fails (I/O error) the transaction stays open, so an
+            # explicit ROLLBACK can still undo the in-memory changes.
+            if self._wal is not None and txn.redo:
+                txn.commit_lsn = self._wal.append_transaction(txn.txn_id, txn.redo)
+            self._current = None
+            if self._clock is not None and (txn.undo or txn.redo):
+                # Visibility point: snapshot readers atomically gain this
+                # transaction's changes.
+                self._clock.commit()
+                self._prune_history(txn)
+            failures = []
+            for hook in txn.on_commit:
+                try:
+                    hook()
+                except Exception as exc:
+                    # InjectedCrash subclasses BaseException on purpose: a
+                    # simulated crash must propagate, not be collected here.
+                    failures.append(exc)
+            if failures:
+                self._report_hook_failures(txn, failures)
+                raise TransactionError(
+                    f"commit hooks failed: {failures[0]}"
+                ) from failures[0]
+        finally:
+            # BaseException-safe: even an injected crash releases the lock,
+            # as a real process death would.
+            self._release_writer()
+
+    def _report_hook_failures(self, txn: Transaction, failures: list) -> None:
+        """Make partially-failed commits visible at /metrics: one counter
+        tick and one event per failed hook, not just the wrapped first."""
+        obs = self._obs or get_observability()
+        if not obs.enabled:
+            return
+        obs.metrics.counter("sqldb.commit.hook_failures").inc(len(failures))
+        for exc in failures:
+            obs.events.emit(
+                "sqldb.commit.hook_failure",
+                txn_id=txn.txn_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     def rollback(self) -> None:
         txn = self._current
         if txn is None:
             raise TransactionError("no transaction to roll back")
-        self._current = None
-        self._apply_undo(txn)
-        for hook in reversed(txn.on_rollback):
-            hook()
+        try:
+            self._current = None
+            self._apply_undo(txn)
+            for hook in reversed(txn.on_rollback):
+                hook()
+        finally:
+            self._release_writer()
+
+    def _prune_history(self, txn: Transaction) -> None:
+        """Garbage-collect row versions no live snapshot can still see."""
+        floor = None
+        if self._snapshot_floor is not None:
+            floor = self._snapshot_floor()
+        if floor is None:
+            floor = self._clock.committed
+        names = {
+            entry[1] for entry in txn.undo
+            if entry[0] in ("insert", "delete", "update")
+        }
+        for name in names:
+            try:
+                table = self._catalog.table(name)
+            except CatalogError:
+                continue  # dropped since; its versions died with it
+            table.heap.prune_history(floor)
 
     # -- statement-level atomicity ---------------------------------------------
 

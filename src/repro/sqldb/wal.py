@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from typing import Any, Iterator
 
@@ -108,17 +109,27 @@ class WriteAheadLog:
         self._positioned = not os.path.exists(self.path) and not os.path.exists(
             self.checkpoint_path
         )
+        #: serialises appends and checkpoints: LSN allocation and the file
+        #: write must be one atomic step so LSNs stay monotonic *in file
+        #: order* even when multiple connections commit concurrently
+        self._append_lock = threading.Lock()
 
     # -- appending ---------------------------------------------------------------
 
     def append_transaction(self, txn_id: int, records: list[dict]) -> int:
         """Append one committed transaction; returns its LSN.
 
-        With ``sync=True`` the record is fsynced before returning (and the
-        directory is fsynced when the append creates the log file), so a
-        committed transaction survives power loss.  With ``sync=False``
-        the write is buffered by the OS — see docs/DURABILITY.md.
+        Thread-safe: one internal lock covers LSN allocation and the file
+        write.  With ``sync=True`` the record is fsynced before returning
+        (and the directory is fsynced when the append creates the log
+        file), so a committed transaction survives power loss.  With
+        ``sync=False`` the write is buffered by the OS — see
+        docs/DURABILITY.md.
         """
+        with self._append_lock:
+            return self._append_locked(txn_id, records)
+
+    def _append_locked(self, txn_id: int, records: list[dict]) -> int:
         self._ensure_positioned()
         encoded = []
         for record in records:
@@ -287,7 +298,16 @@ class WriteAheadLog:
         3. truncate the WAL.  A crash between 2 and 3 leaves stale records
            in the log, but they carry LSNs at or below the new snapshot's
            watermark and replay skips them.
+
+        Takes the append lock, so no commit can slip its record into the
+        log between computing the watermark and the truncation (such a
+        record would be silently dropped).  An :class:`InjectedCrash`
+        (BaseException) still releases the lock via ``with``.
         """
+        with self._append_lock:
+            self._write_checkpoint_locked(snapshot)
+
+    def _write_checkpoint_locked(self, snapshot: dict[str, Any]) -> None:
         self._ensure_positioned()
         epoch = self.epoch + 1
         watermark = self.last_lsn

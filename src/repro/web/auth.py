@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+import threading
 
 from repro.errors import AuthenticationError, AuthorizationError
 
@@ -86,22 +87,27 @@ class UserManager:
 
     def __init__(self, with_guest: bool = True) -> None:
         self._users: dict[str, User] = {}
+        # the admin user-management page and concurrent logins touch the
+        # store from multiple request threads
+        self._lock = threading.Lock()
         if with_guest:
             self.add_user("guest", "guest", role="guest")
 
     def add_user(self, username: str, password: str, role: str = "user") -> User:
-        if username in self._users:
-            raise AuthorizationError(f"user {username!r} already exists")
-        user = User(username, password, role)
-        self._users[username] = user
-        return user
+        with self._lock:
+            if username in self._users:
+                raise AuthorizationError(f"user {username!r} already exists")
+            user = User(username, password, role)
+            self._users[username] = user
+            return user
 
     def remove_user(self, username: str) -> None:
         if username == "guest":
             raise AuthorizationError("the guest account cannot be removed")
-        if username not in self._users:
-            raise AuthenticationError(f"no such user {username!r}")
-        del self._users[username]
+        with self._lock:
+            if username not in self._users:
+                raise AuthenticationError(f"no such user {username!r}")
+            del self._users[username]
 
     def authenticate(self, username: str, password: str) -> User:
         user = self._users.get(username)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import html
 import secrets
+import threading
 from time import perf_counter
 from typing import Any, Callable, Mapping
 
@@ -73,31 +74,37 @@ class SessionManager:
         self._sessions: dict[str, Session] = {}
         self.max_idle_seconds = max_idle_seconds
         self._time_source = time_source or _time.time
+        # the threaded web tier creates/expires sessions from many request
+        # threads; the store itself must be race-free
+        self._lock = threading.Lock()
 
     def create(self) -> Session:
         session_id = secrets.token_urlsafe(12)
         session = Session(session_id, created_at=self._time_source())
-        self._sessions[session_id] = session
+        with self._lock:
+            self._sessions[session_id] = session
         return session
 
     def get(self, session_id: str | None) -> Session | None:
         if session_id is None:
             return None
-        session = self._sessions.get(session_id)
-        if session is None:
-            return None
         now = self._time_source()
-        if (
-            self.max_idle_seconds is not None
-            and now - session.last_used_at > self.max_idle_seconds
-        ):
-            del self._sessions[session_id]
-            return None
-        session.last_used_at = now
-        return session
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                return None
+            if (
+                self.max_idle_seconds is not None
+                and now - session.last_used_at > self.max_idle_seconds
+            ):
+                del self._sessions[session_id]
+                return None
+            session.last_used_at = now
+            return session
 
     def invalidate(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -222,6 +229,21 @@ class ServletContainer:
                  time_source=None) -> None:
         self.sessions = SessionManager(session_max_idle, time_source)
         self._routes: dict[str, Servlet] = {}
+        #: optional per-request database connection pool (threaded serving)
+        self._pool = None
+
+    def use_connection_pool(self, pool) -> None:
+        """Serve each request on a pooled database connection.
+
+        With a :class:`~repro.sqldb.connection.ConnectionPool` installed,
+        every dispatch checks a connection out and installs it as the
+        calling thread's implicit connection, so all ``db.execute`` calls
+        inside the handlers run on it (snapshot reads, independent
+        transaction state).  Checkout blocking doubles as backpressure
+        when every pooled connection is busy; a checkout timeout maps to
+        ``503``.
+        """
+        self._pool = pool
 
     def register(self, path: str, servlet: Servlet | Callable[[Request], Response]) -> None:
         if path in self._routes:
@@ -278,6 +300,7 @@ class ServletContainer:
     ) -> Response:
         from repro.errors import (
             AuthorizationError,
+            LockTimeout,
             OperationError,
             PermissionDeniedError,
             ReproError,
@@ -290,6 +313,9 @@ class ServletContainer:
         session = self.sessions.get(session_id)
         request = Request(path, params, method, session, files)
         try:
+            if self._pool is not None:
+                with self._pool.scope():
+                    return servlet.service(request)
             return servlet.service(request)
         except AuthenticationError as exc:
             return Response.error(str(exc), 401)
@@ -297,6 +323,10 @@ class ServletContainer:
             return Response.error(str(exc), 403)
         except RoutingError as exc:
             return Response.error(str(exc), 404)
+        except LockTimeout as exc:
+            # pool exhausted, or the writer lock stayed contended past the
+            # timeout: the server is busy, not the request wrong
+            return Response.error(str(exc), 503)
         except (ReproError, OperationError) as exc:
             return Response.error(str(exc), 400)
         except Exception as exc:  # a handler bug must not kill the archive

@@ -10,21 +10,60 @@ stdlib's ``wsgiref`` is enough for a demo deployment:
     httpd = make_server("", 8080, WsgiAdapter(app))
     httpd.serve_forever()
 
-Sessions ride an ``easia_session`` cookie (set by ``/login``); form posts
-accept ``application/x-www-form-urlencoded`` and ``multipart/form-data``
-(the code-upload form).
+For concurrent serving, :func:`make_threading_server` builds a
+thread-per-request server (``socketserver.ThreadingMixIn``); pair it with
+a :class:`~repro.sqldb.connection.ConnectionPool` installed on the
+container so each request runs on its own database connection::
+
+    pool = ConnectionPool(app.db, size=4)
+    app.container.use_connection_pool(pool)
+    httpd = make_threading_server("", 8080, WsgiAdapter(app))
+    httpd.serve_forever()
+
+Sessions ride an ``easia_session`` cookie (set by ``/login``,
+``HttpOnly`` and ``SameSite=Lax``); form posts accept
+``application/x-www-form-urlencoded`` and ``multipart/form-data`` (the
+code-upload form).  Bodies larger than ``max_content_length`` are
+rejected with ``413`` before being read.
 """
 
 from __future__ import annotations
 
+from socketserver import ThreadingMixIn
 from typing import Callable, Iterable
 from urllib.parse import parse_qsl
+from wsgiref.simple_server import WSGIServer, make_server
 
 from repro.web.app import EasiaApp
 
-__all__ = ["WsgiAdapter", "parse_multipart"]
+__all__ = [
+    "ThreadingWSGIServer",
+    "WsgiAdapter",
+    "make_threading_server",
+    "parse_multipart",
+]
 
 _COOKIE_NAME = "easia_session"
+
+#: default request-body cap: 10 MiB comfortably covers the archive's
+#: code-upload form while bounding per-request memory in the threaded tier
+DEFAULT_MAX_CONTENT_LENGTH = 10 * 1024 * 1024
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """Thread-per-request WSGI server for the concurrent web tier.
+
+    Daemon threads: an in-flight request never blocks interpreter exit
+    (the pool rolls back anything a killed handler left open on the next
+    checkout — see :meth:`ConnectionPool.checkin`).
+    """
+
+    daemon_threads = True
+
+
+def make_threading_server(host: str, port: int, app) -> ThreadingWSGIServer:
+    """A ``wsgiref`` server that handles each request on its own thread."""
+    return make_server(host, port, app, server_class=ThreadingWSGIServer)
 
 
 def _parse_cookies(header: str) -> dict[str, str]:
@@ -78,8 +117,10 @@ def parse_multipart(body: bytes, content_type: str) -> tuple[dict, dict]:
 class WsgiAdapter:
     """Wraps an :class:`EasiaApp` as a WSGI callable."""
 
-    def __init__(self, app: EasiaApp) -> None:
+    def __init__(self, app: EasiaApp,
+                 max_content_length: int = DEFAULT_MAX_CONTENT_LENGTH) -> None:
         self.app = app
+        self.max_content_length = max_content_length
 
     def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         path = environ.get("PATH_INFO", "/") or "/"
@@ -92,6 +133,13 @@ class WsgiAdapter:
                 length = int(environ.get("CONTENT_LENGTH") or 0)
             except ValueError:
                 length = 0
+            if length > self.max_content_length:
+                body_bytes = b"request body too large"
+                start_response("413 Content Too Large", [
+                    ("Content-Type", "text/plain; charset=utf-8"),
+                    ("Content-Length", str(len(body_bytes))),
+                ])
+                return [body_bytes]
             body = environ["wsgi.input"].read(length) if length else b""
             content_type = environ.get("CONTENT_TYPE", "")
             if content_type.startswith("multipart/form-data"):
@@ -114,6 +162,11 @@ class WsgiAdapter:
             401: "401 Unauthorized",
             403: "403 Forbidden",
             404: "404 Not Found",
+            405: "405 Method Not Allowed",
+            409: "409 Conflict",
+            413: "413 Content Too Large",
+            500: "500 Internal Server Error",
+            503: "503 Service Unavailable",
         }.get(response.status, f"{response.status} Status")
         body_bytes = (
             response.body
@@ -127,9 +180,10 @@ class WsgiAdapter:
         for name, value in response.headers.items():
             if name == "X-Session-Id":
                 # a fresh login: persist the session in a cookie
-                headers.append(
-                    ("Set-Cookie", f"{_COOKIE_NAME}={value}; Path=/; HttpOnly")
-                )
+                headers.append((
+                    "Set-Cookie",
+                    f"{_COOKIE_NAME}={value}; Path=/; HttpOnly; SameSite=Lax",
+                ))
             else:
                 headers.append((name, value))
         start_response(status_text, headers)
