@@ -1,0 +1,138 @@
+"""[A5] Replication failover: downloads survive a dead replica.
+
+The acceptance scenario for the replication work, measured: build a
+replicated archive (factor 2), run a burst of DATALINK downloads through
+the web tier with every replica up, kill each logical host's primary,
+and run the same burst again.
+
+Gates (checked by ``scripts/check_bench_regression.py --replication``
+over ``BENCH_replication.json``):
+
+* ``failover_errors`` must be 0 — with one replica of each set dead,
+  every download still returns 200;
+* ``overhead_ratio`` (degraded time / healthy time) must stay under the
+  configured ceiling — failover costs one extra in-process hop, not a
+  timeout spiral;
+* after an anti-entropy repair of a deliberately corrupted follower,
+  every replica set is checksum-clean again.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import PaperTable
+from repro.replication import check_replica_set
+
+DOWNLOADS = 60  # per phase
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_replication.json"
+
+
+def _build_portal():
+    from repro import EasiaApp
+    from repro.turbulence import build_turbulence_archive
+
+    archive = build_turbulence_archive(
+        n_simulations=2, timesteps=2, replication_factor=2
+    )
+    engine = archive.make_engine(tempfile.mkdtemp(prefix="easia-bench-repl-"))
+    app = EasiaApp(
+        archive.db, archive.linker, archive.document, archive.users, engine
+    )
+    session = app.login("turbulence", "consortium")
+    urls = [
+        value.url
+        for (value,) in archive.db.execute(
+            "SELECT DOWNLOAD_RESULT FROM RESULT_FILE"
+        ).rows
+    ]
+    return archive, app, session, urls
+
+
+def _download_burst(app, session, urls, n):
+    """Run n downloads round-robin over urls; return (seconds, errors)."""
+    errors = 0
+    started = time.perf_counter()
+    for i in range(n):
+        response = app.get(
+            "/download", {"url": urls[i % len(urls)]}, session_id=session
+        )
+        if response.status != 200:
+            errors += 1
+    return time.perf_counter() - started, errors
+
+
+def test_bench_a5_failover_download(benchmark):
+    def measure():
+        archive, app, session, urls = _build_portal()
+        healthy_s, healthy_errors = _download_burst(
+            app, session, urls, DOWNLOADS
+        )
+        for replica_set in archive.servers:
+            replica_set.kill(replica_set.primary.host)
+        degraded_s, degraded_errors = _download_burst(
+            app, session, urls, DOWNLOADS
+        )
+        failovers = sum(rs.failovers for rs in archive.servers)
+
+        # anti-entropy: revive, corrupt one follower, repair to clean
+        for replica_set in archive.servers:
+            replica_set.revive(replica_set.replicas[0].host)
+        victim = archive.servers[0].followers[0]
+        path = next(iter(victim.server.manifest()))
+        victim.server.filesystem.dl_put(path, b"bit-rot")
+        repair_findings = sum(
+            len(report.findings) for report in archive.replication.repair()
+        )
+        clean = all(
+            check_replica_set(rs).consistent for rs in archive.servers
+        )
+        return (healthy_s, healthy_errors, degraded_s, degraded_errors,
+                failovers, repair_findings, clean)
+
+    (healthy_s, healthy_errors, degraded_s, degraded_errors,
+     failovers, repair_findings, clean) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    overhead = degraded_s / max(healthy_s, 1e-9)
+
+    table = PaperTable(
+        "A5",
+        f"{DOWNLOADS} portal downloads per phase, replication factor 2",
+        ["phase", "seconds", "downloads/s", "errors"],
+    )
+    table.add_row("all replicas up", f"{healthy_s:.3f}",
+                  f"{DOWNLOADS / healthy_s:.0f}", str(healthy_errors))
+    table.add_row("primaries killed", f"{degraded_s:.3f}",
+                  f"{DOWNLOADS / degraded_s:.0f}", str(degraded_errors))
+    table.add_row("failover overhead", f"{overhead:.2f}x", "", "")
+    table.show()
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "replication.failover_download",
+                "replication_factor": 2,
+                "downloads_per_phase": DOWNLOADS,
+                "healthy_seconds": round(healthy_s, 4),
+                "degraded_seconds": round(degraded_s, 4),
+                "healthy_errors": healthy_errors,
+                "failover_errors": degraded_errors,
+                "failovers": failovers,
+                "overhead_ratio": round(overhead, 3),
+                "repair_findings": repair_findings,
+                "repair_clean": clean,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert healthy_errors == 0
+    assert degraded_errors == 0, (
+        f"{degraded_errors} downloads failed with a replica dead"
+    )
+    assert failovers >= DOWNLOADS  # every degraded download failed over
+    assert repair_findings >= 1 and clean

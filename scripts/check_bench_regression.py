@@ -4,6 +4,7 @@
 Usage:
     python scripts/check_bench_regression.py BASELINE CURRENT [--max-ratio 2.0]
     python scripts/check_bench_regression.py --concurrency BENCH_concurrency.json
+    python scripts/check_bench_regression.py --replication BENCH_replication.json
 
 Benchmarks whose name contains one of the guarded keywords (point lookups
 and joins — the planner's hot paths) fail the check when their median
@@ -15,6 +16,12 @@ guarded set is enforced, and only by ratio.
 (produced by benchmarks/test_bench_concurrency.py) instead of or in
 addition to the median comparison: torn_reads must be exactly 0 and the
 snapshot-vs-serialized speedup must meet ``--min-speedup`` (default 4.0).
+
+``--replication`` validates the failover benchmark's result file
+(produced by benchmarks/test_bench_replication.py): failover_errors must
+be exactly 0, the anti-entropy repair must end checksum-clean, and the
+degraded/healthy download-time ratio must stay under ``--max-overhead``
+(default 5.0).
 
 Exit status: 0 when every enforced gate holds, 1 otherwise.
 """
@@ -97,6 +104,39 @@ def check_concurrency(path: str, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_replication(path: str, max_overhead: float) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    failures: list[str] = []
+    errors = payload.get("failover_errors")
+    overhead = payload.get("overhead_ratio")
+    clean = payload.get("repair_clean")
+    if errors is None or overhead is None or clean is None:
+        return [f"{path}: missing failover_errors/overhead_ratio/repair_clean keys"]
+    if errors != 0:
+        failures.append(
+            f"{path}: {errors} download(s) failed with a replica dead — "
+            f"failover must be invisible to users"
+        )
+    if overhead > max_overhead:
+        failures.append(
+            f"{path}: degraded downloads {overhead:.2f}x slower than "
+            f"healthy, above the {max_overhead:g}x ceiling"
+        )
+    if not clean:
+        failures.append(
+            f"{path}: anti-entropy repair did not converge to a "
+            f"checksum-clean replica set"
+        )
+    print(
+        f"  replication: {payload.get('failovers', '?')} failover(s), "
+        f"{errors} error(s), {overhead:.2f}x overhead, "
+        f"repair {'clean' if clean else 'DIVERGED'}"
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
@@ -114,10 +154,24 @@ def main(argv: list[str] | None = None) -> int:
         help="concurrency gate: snapshot reads must beat serialized reads "
              "by at least this factor (default 4.0)",
     )
+    parser.add_argument(
+        "--replication", metavar="PATH",
+        help="validate a BENCH_replication.json result file",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=5.0,
+        help="replication gate: degraded/healthy download-time ratio "
+             "ceiling (default 5.0)",
+    )
     args = parser.parse_args(argv)
 
-    if not args.concurrency and not (args.baseline and args.current):
-        parser.error("need BASELINE CURRENT, --concurrency PATH, or both")
+    if not args.concurrency and not args.replication and not (
+        args.baseline and args.current
+    ):
+        parser.error(
+            "need BASELINE CURRENT, --concurrency PATH, --replication PATH, "
+            "or a combination"
+        )
     if (args.baseline is None) != (args.current is None):
         parser.error("BASELINE and CURRENT must be given together")
 
@@ -126,6 +180,8 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_medians(args.baseline, args.current, args.max_ratio)
     if args.concurrency:
         failures += check_concurrency(args.concurrency, args.min_speedup)
+    if args.replication:
+        failures += check_replication(args.replication, args.max_overhead)
 
     if failures:
         print("\nperformance regression gate FAILED:", file=sys.stderr)

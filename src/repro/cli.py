@@ -80,6 +80,7 @@ def _build_demo(args: argparse.Namespace):
         timesteps=args.timesteps,
         grid=args.grid,
         n_file_servers=args.file_servers,
+        replication_factor=getattr(args, "replication_factor", 1),
     )
 
 
@@ -104,13 +105,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # never blocks behind an ingest transaction (docs/CONCURRENCY.md).
     pool = ConnectionPool(archive.db, size=args.pool_size)
     app.container.use_connection_pool(pool)
+    if archive.replication is not None:
+        # background pump: health probes + follower catch-up while serving
+        archive.replication.start()
     httpd = make_threading_server(args.host, args.port, WsgiAdapter(app))
+    replicas = (
+        f", replication x{archive.replication.placement.replication_factor}"
+        if archive.replication is not None else ""
+    )
     print(f"EASIA portal at http://{args.host or 'localhost'}:{args.port}/login "
-          f"(guest/guest, {args.pool_size} pooled connections)")
+          f"(guest/guest, {args.pool_size} pooled connections{replicas})")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        if archive.replication is not None:
+            archive.replication.stop()
     return 0
 
 
@@ -209,11 +220,41 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replicas(args: argparse.Namespace) -> int:
+    """Inspect or repair the demo archive's replica sets."""
+    archive = _build_demo(args)
+    manager = archive.replication
+    if manager is None:
+        print(
+            "archive is not replicated (use --replication-factor >= 2)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.action == "repair":
+        if args.tamper:
+            # demonstration hook: corrupt one follower so the repair pass
+            # has something to find and fix
+            replica_set = archive.servers[0]
+            follower = replica_set.followers[0]
+            path = next(iter(follower.server.manifest()))
+            follower.server.filesystem.dl_put(path, b"bit-rot")
+            print(f"tampered {follower.host}{path}")
+        for report in manager.repair(prune=args.prune):
+            print(report.describe())
+        return 0
+    print(manager.describe())
+    return 0
+
+
 def _add_demo_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--simulations", type=int, default=3)
     parser.add_argument("--timesteps", type=int, default=3)
     parser.add_argument("--grid", type=int, default=16)
     parser.add_argument("--file-servers", type=int, default=2)
+    parser.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="physical replicas per logical file server (default 1: none)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,6 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="how many recent spans to print")
     _add_demo_options(obs)
     obs.set_defaults(fn=_cmd_obs)
+
+    replicas = sub.add_parser(
+        "replicas", help="inspect or repair replicated file servers"
+    )
+    replicas.add_argument("action", choices=("status", "repair"))
+    replicas.add_argument("--prune", action="store_true",
+                          help="repair: also delete files absent on primary")
+    replicas.add_argument("--tamper", action="store_true",
+                          help="repair: corrupt one follower first (demo)")
+    _add_demo_options(replicas)
+    # replica commands only make sense on a replicated archive
+    replicas.set_defaults(fn=_cmd_replicas, replication_factor=2)
     return parser
 
 

@@ -6,15 +6,25 @@ and recovery of external files in synchronisation with the internal data".
 :func:`coordinated_backup` writes one self-contained backup image:
 
 * the full database state (DDL + rows, via the WAL value encoding),
-* a copy of every linked file flagged ``RECOVERY YES``, organised by host.
+* a copy of every linked file flagged ``RECOVERY YES``, organised by host,
+  with its sha256 recorded in the manifest.
 
 :func:`coordinated_restore` rebuilds a database *and* repopulates fresh
 file servers from the image, re-establishing the links — the database and
-its external files come back as one consistent unit.
+its external files come back as one consistent unit.  Every restored
+file is verified against its manifest checksum; a missing or corrupted
+image file raises :class:`~repro.errors.RecoveryError` naming the file
+instead of silently restoring damaged data.
+
+Replica sets are transparent here: when a logical host is backed by a
+:class:`~repro.replication.replicaset.ReplicaSet`, the backup reads each
+file from *any healthy replica* (``healthy_entry``), so a down primary
+does not abort the backup.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -28,6 +38,15 @@ from repro.sqldb.wal import WriteAheadLog
 __all__ = ["coordinated_backup", "coordinated_restore"]
 
 _MANIFEST = "backup_manifest.json"
+
+
+def _backup_entry(server, path: str):
+    """The file entry to back up — from any healthy replica when the
+    server is a replica set, from the one filesystem otherwise."""
+    healthy = getattr(server, "healthy_entry", None)
+    if healthy is not None:
+        return healthy(path)
+    return server.filesystem.entry(path)
 
 
 def coordinated_backup(db: Database, linker: DataLinker, directory: str) -> dict:
@@ -49,8 +68,8 @@ def coordinated_backup(db: Database, linker: DataLinker, directory: str) -> dict
     files: list[dict] = []
     for host, path in linker.recovery_manifest():
         server = linker.server(host)
-        data = server.filesystem.read(path)
-        entry = server.filesystem.entry(path)
+        entry = _backup_entry(server, path)
+        data = entry.data
         rel = os.path.join("files", host, path.lstrip("/"))
         target = os.path.join(directory, rel)
         os.makedirs(os.path.dirname(target), exist_ok=True)
@@ -62,6 +81,7 @@ def coordinated_backup(db: Database, linker: DataLinker, directory: str) -> dict
                 "path": path,
                 "stored_as": rel,
                 "size": len(data),
+                "sha256": entry.sha256,
                 "read_db": entry.read_db,
                 "write_blocked": entry.write_blocked,
             }
@@ -72,6 +92,32 @@ def coordinated_backup(db: Database, linker: DataLinker, directory: str) -> dict
     return manifest
 
 
+def _read_verified(directory: str, info: dict) -> bytes:
+    """Read one backed-up file, verifying existence and checksum.
+
+    Backup images written before checksums were recorded (no ``sha256``
+    key) restore without verification.
+    """
+    stored = os.path.join(directory, info["stored_as"])
+    if not os.path.exists(stored):
+        raise RecoveryError(
+            f"backup image is missing {info['stored_as']} "
+            f"(linked file {info['host']}{info['path']})"
+        )
+    with open(stored, "rb") as fh:
+        data = fh.read()
+    expected = info.get("sha256")
+    if expected is not None:
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != expected:
+            raise RecoveryError(
+                f"backup image {info['stored_as']} is corrupted: "
+                f"sha256 {actual[:12]} != recorded {expected[:12]} "
+                f"(linked file {info['host']}{info['path']})"
+            )
+    return data
+
+
 def coordinated_restore(
     directory: str,
     token_manager: TokenManager | None = None,
@@ -79,8 +125,9 @@ def coordinated_restore(
     """Rebuild a database and its file servers from a backup image.
 
     The returned database has the linker installed as its datalink hooks;
-    every backed-up file is restored onto a fresh :class:`FileServer` for
-    its original host and re-linked with its original protection flags.
+    every backed-up file is checksum-verified, restored onto a fresh
+    :class:`FileServer` for its original host and re-linked with its
+    original protection flags.
     """
     manifest_path = os.path.join(directory, _MANIFEST)
     db_path = os.path.join(directory, "database.json")
@@ -92,14 +139,15 @@ def coordinated_restore(
         snapshot = json.load(fh)
 
     linker = DataLinker(token_manager)
-    # Restore files first so that re-linking finds them.
+    # Restore files first so that re-linking finds them; each file is
+    # verified before its bytes reach a server, so a corrupted image
+    # aborts the restore instead of planting damaged data.
     for info in manifest["files"]:
         host = info["host"]
         if not linker.has_server(host):
             linker.register_server(FileServer(host))
         server = linker.server(host)
-        with open(os.path.join(directory, info["stored_as"]), "rb") as fh:
-            server.put(info["path"], fh.read())
+        server.put(info["path"], _read_verified(directory, info))
 
     db = Database()
     from repro.sqldb.parser import parse_script

@@ -68,6 +68,10 @@ class DataLinker(DatalinkHooks):
         #: callbacks fired after an unlink is applied: fn(host, path).
         #: The operation engine uses this to invalidate cached results.
         self.unlink_listeners: list = []
+        #: the ReplicationManager overseeing replica sets registered here
+        #: (installed by repro.replication.ReplicationManager; None means
+        #: every registered server is a single stand-alone host)
+        self.replication = None
 
     # -- server registry -------------------------------------------------------
 
@@ -194,7 +198,10 @@ class DataLinker(DatalinkHooks):
                 if obs.enabled:
                     obs.metrics.counter("datalink.unlinks_applied").inc()
                     obs.events.emit("datalink.unlink", host=server.host, path=path)
-                for listener in self.unlink_listeners:
+                # Snapshot before iterating: a listener registered or
+                # removed concurrently (or by another listener) must
+                # neither break this commit nor skip a callback.
+                for listener in tuple(self.unlink_listeners):
                     listener(server.host, path)
             faultinject.crash_point("datalink.apply.after_op")
 

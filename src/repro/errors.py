@@ -147,6 +147,27 @@ class FileLockedError(FileServerError):
 
 
 # ---------------------------------------------------------------------------
+# Replication (repro.replication)
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for replica-management errors."""
+
+
+class ReplicaUnavailableError(ReplicationError):
+    """One physical replica could not be reached (killed host, network
+    partition, or the failure detector has it marked down)."""
+
+
+class AllReplicasDownError(ReplicationError):
+    """Every replica of a logical host failed; the read cannot be served.
+
+    The web tier maps this to 503 — it is the *only* condition under which
+    a replicated DATALINK download is allowed to fail with a server error."""
+
+
+# ---------------------------------------------------------------------------
 # XUIS (repro.xuis)
 # ---------------------------------------------------------------------------
 

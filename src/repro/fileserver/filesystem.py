@@ -14,6 +14,7 @@ maintains on a real system:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 from repro import faultinject
@@ -25,11 +26,14 @@ __all__ = ["FileEntry", "ServerFileSystem"]
 class FileEntry:
     """One stored file plus its link-control state."""
 
-    __slots__ = ("data", "linked", "read_db", "write_blocked", "recovery",
-                 "versions")
+    __slots__ = ("data", "sha256", "linked", "read_db", "write_blocked",
+                 "recovery", "versions")
 
     def __init__(self, data: bytes) -> None:
         self.data = data
+        #: content checksum, maintained on every write — the unit of
+        #: comparison for anti-entropy repair and backup verification
+        self.sha256 = hashlib.sha256(data).hexdigest()
         self.linked = False
         self.read_db = False
         self.write_blocked = False
@@ -38,6 +42,10 @@ class FileEntry:
         #: prior contents, captured when a RECOVERY YES file is updated in
         #: place (WRITE PERMISSION FS) — enables point-in-time restore
         self.versions: list[bytes] = []
+
+    def set_data(self, data: bytes) -> None:
+        self.data = data
+        self.sha256 = hashlib.sha256(data).hexdigest()
 
     @property
     def size(self) -> int:
@@ -76,7 +84,7 @@ class ServerFileSystem:
                 # RECOVERY YES: keep the prior version for point-in-time
                 # restore, coordinated with database recovery.
                 existing.versions.append(existing.data)
-            existing.data = data
+            existing.set_data(data)
             return existing
         entry = FileEntry(data)
         self._files[path] = entry
@@ -121,6 +129,28 @@ class ServerFileSystem:
 
     def linked_paths(self) -> list[str]:
         return [p for p in sorted(self._files) if self._files[p].linked]
+
+    def checksum(self, path: str) -> str:
+        return self.entry(path).sha256
+
+    def manifest(self) -> dict[str, dict]:
+        """Per-file checksum + link-control state, for anti-entropy repair.
+
+        Two replicas holding the same files in the same states produce
+        identical manifests; any difference is divergence to repair.
+        """
+        out: dict[str, dict] = {}
+        for path in sorted(self._files):
+            entry = self._files[path]
+            out[path] = {
+                "sha256": entry.sha256,
+                "size": entry.size,
+                "linked": entry.linked,
+                "read_db": entry.read_db,
+                "write_blocked": entry.write_blocked,
+                "recovery": entry.recovery,
+            }
+        return out
 
     def total_bytes(self) -> int:
         return sum(e.size for e in self._files.values())
@@ -179,3 +209,35 @@ class ServerFileSystem:
         entry.versions.clear()
         if delete:
             del self._files[_normalise(path)]
+
+    # -- replication channel --------------------------------------------------
+    # Used by the replication queue and anti-entropy repair: a follower must
+    # accept the primary's bytes and flags even where ordinary filesystem
+    # writes are blocked by link control.
+
+    def dl_put(self, path: str, data: bytes) -> FileEntry:
+        """Write bytes bypassing WRITE PERMISSION BLOCKED (replica sync)."""
+        path = _normalise(path)
+        entry = self._files.get(path)
+        if entry is None:
+            entry = FileEntry(data)
+            self._files[path] = entry
+        else:
+            entry.set_data(data)
+        return entry
+
+    def dl_set_flags(self, path: str, linked: bool, read_db: bool,
+                     write_blocked: bool, recovery: bool) -> None:
+        """Force link-control state to match the primary's (replica sync)."""
+        entry = self.entry(path)
+        entry.linked = linked
+        entry.read_db = read_db
+        entry.write_blocked = write_blocked
+        entry.recovery = recovery
+        if not linked:
+            entry.versions.clear()
+
+    def dl_remove(self, path: str) -> None:
+        """Delete a file regardless of link control (replica prune)."""
+        self.entry(path)
+        del self._files[_normalise(path)]

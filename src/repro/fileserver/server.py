@@ -11,10 +11,19 @@ file manager on each host shares key material with the DBMS.
 
 from __future__ import annotations
 
+import re
+import threading
+
 from repro.errors import PermissionDeniedError, TokenError
-from repro.fileserver.filesystem import ServerFileSystem
+from repro.fileserver.filesystem import FileEntry, ServerFileSystem, _normalise
 
 __all__ = ["FileServer"]
+
+#: the wire shape of a TokenManager token: ``<expiry-hex>.<base64url>``.
+#: ``serve`` only treats a ``token;filename`` split as tokenized when the
+#: candidate token matches — a filename that merely contains ``;`` must not
+#: be mis-split into a bogus token plus the wrong path.
+_TOKEN_SHAPE = re.compile(r"\A[0-9a-f]+\.[A-Za-z0-9_-]+\Z")
 
 
 class FileServer:
@@ -27,10 +36,17 @@ class FileServer:
         #: validates READ PERMISSION DB access tokens; installed by the
         #: datalink manager when the server is registered
         self.token_manager = token_manager
-        #: served-bytes accounting for the benchmarks
+        #: the logical host tokens are scoped to.  Stand-alone servers use
+        #: their own name; replicas of a replica set all share the set's
+        #: logical name, so one token works across every replica.
+        self.token_scope_host: str | None = None
+        #: served-bytes accounting for the benchmarks.  The threaded web
+        #: tier serves concurrent requests, so increments take the lock —
+        #: plain int += would lose ticks under contention.
         self.bytes_served = 0
         self.requests = 0
         self.denied = 0
+        self._stats_lock = threading.Lock()
 
     # -- data ingestion (local writes by simulation codes) ---------------------
 
@@ -47,32 +63,55 @@ class FileServer:
         ``path`` may be in tokenized form ``/dir/token;name`` (the shape a
         DATALINK SELECT yields), in which case the embedded token is used.
         """
-        self.requests += 1
-        if ";" in path:
-            directory, _, last = path.rpartition("/")
-            embedded, _, filename = last.partition(";")
-            path = f"{directory}/{filename}"
-            if token is None:
-                token = embedded
+        with self._stats_lock:
+            self.requests += 1
+        path, embedded = self._split_tokenized(path)
+        # normalise before building the token scope: "f.dat" and "/f.dat"
+        # name the same file and must validate against the same scope
+        path = _normalise(path)
+        if token is None:
+            token = embedded
         entry = self.filesystem.entry(path)
         if entry.read_db:
             if token is None:
-                self.denied += 1
+                with self._stats_lock:
+                    self.denied += 1
                 raise PermissionDeniedError(
                     f"{path} requires a database access token"
                 )
             if self.token_manager is None:
-                self.denied += 1
+                with self._stats_lock:
+                    self.denied += 1
                 raise TokenError(
                     f"server {self.host} has no token manager installed"
                 )
             try:
                 self.token_manager.validate(self._token_scope(path), token)
             except TokenError:
-                self.denied += 1
+                with self._stats_lock:
+                    self.denied += 1
                 raise
-        self.bytes_served += entry.size
+        with self._stats_lock:
+            self.bytes_served += entry.size
         return entry.data
+
+    @staticmethod
+    def _split_tokenized(path: str) -> tuple[str, str | None]:
+        """Split ``/dir/token;name`` into (``/dir/name``, token).
+
+        Handles the two shapes a naive ``rpartition``/``partition`` pair
+        mis-parses: a path with no directory separator at all, and a
+        filename that legitimately contains ``;`` without carrying a token.
+        """
+        if ";" not in path:
+            return path, None
+        directory, slash, last = path.rpartition("/")
+        candidate, _, filename = last.partition(";")
+        if not filename or not _TOKEN_SHAPE.match(candidate):
+            # the ';' belongs to the filename, not a token prefix
+            return path, None
+        rebuilt = f"{directory}/{filename}" if slash else filename
+        return rebuilt, candidate
 
     def head(self, path: str) -> int:
         """Size probe (no token needed; mirrors the interface showing object
@@ -81,8 +120,9 @@ class FileServer:
 
     def _token_scope(self, path: str) -> str:
         """Tokens are bound to host+path so one file's token cannot fetch
-        another file, even on the same server."""
-        return f"{self.host}{path}"
+        another file.  Replica-set members validate against the *logical*
+        host, so a token issued for the set works on any replica."""
+        return f"{self.token_scope_host or self.host}{path}"
 
     # -- control plane used by the datalink manager --------------------------------
 
@@ -98,6 +138,12 @@ class FileServer:
     def dl_unlink(self, path: str, delete: bool) -> None:
         self.filesystem.dl_unlink(path, delete)
 
+    def dl_put(self, path: str, data: bytes) -> FileEntry:
+        """Replication channel: accept the primary's bytes, bypassing
+        WRITE PERMISSION BLOCKED (only the datalink/replication manager
+        may call this, never ordinary filesystem users)."""
+        return self.filesystem.dl_put(path, data)
+
     def dl_recovery_paths(self) -> list[str]:
         """Linked paths flagged RECOVERY YES (coordinated-backup set)."""
         return [
@@ -105,6 +151,13 @@ class FileServer:
             for p in self.filesystem.linked_paths()
             if self.filesystem.entry(p).recovery
         ]
+
+    def checksum(self, path: str) -> str:
+        return self.filesystem.checksum(path)
+
+    def manifest(self) -> dict[str, dict]:
+        """Content-checksum manifest endpoint (anti-entropy repair)."""
+        return self.filesystem.manifest()
 
     def __repr__(self) -> str:
         return f"FileServer({self.host!r}, {len(self.filesystem)} files)"

@@ -83,6 +83,10 @@ class Network:
         self._hosts: dict[str, Host] = {}
         self._links: dict[frozenset, Link] = {}
         self._default_profile: BandwidthProfile | None = None
+        #: severed host pairs (network partitions) and downed hosts — the
+        #: failure scenarios the replication health monitor probes against
+        self._partitions: set[frozenset] = set()
+        self._down_hosts: set[str] = set()
 
     # -- construction ------------------------------------------------------
 
@@ -144,6 +148,66 @@ class Network:
 
     def is_local(self, src: str, dst: str) -> bool:
         return src == dst
+
+    # -- failure scenarios ----------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever connectivity between two hosts (both directions)."""
+        self.host(a), self.host(b)
+        if a == b:
+            raise NetworkError("cannot partition a host from itself")
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore connectivity previously severed by :meth:`partition`."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+        self._down_hosts.clear()
+
+    def set_host_down(self, name: str, down: bool = True) -> None:
+        """Mark a host dead (unreachable from everywhere) or alive again."""
+        self.host(name)
+        if down:
+            self._down_hosts.add(name)
+        else:
+            self._down_hosts.discard(name)
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        """Whether traffic can currently flow ``src`` -> ``dst``.
+
+        A host is always reachable from itself; otherwise partitions and
+        downed hosts block the path.  Used by the replication failure
+        detector to simulate partition scenarios.
+        """
+        if src == dst:
+            return True
+        if src in self._down_hosts or dst in self._down_hosts:
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    def set_latency(self, a: str, b: str, latency_s: float) -> None:
+        """Adjust the latency of the ``a``<->``b`` link (slow-link scenario).
+
+        Creates a default-profile link if none exists yet, so tests can
+        degrade any host pair without pre-declaring the topology edge.
+        """
+        if latency_s < 0:
+            raise NetworkError("latency cannot be negative")
+        key = frozenset((a, b))
+        link = self._links.get(key)
+        if link is None:
+            if self._default_profile is None:
+                raise NoRouteError(
+                    f"no link between {a} and {b} and no default profile"
+                )
+            link = Link(a, b, self._default_profile, latency_s=latency_s)
+            for end in (a, b):
+                if end not in self._hosts:
+                    self.add_host(Host(end))
+            self._links[key] = link
+        link.latency_s = latency_s
 
     @classmethod
     def paper_topology(cls, remote_sites: Iterable[str] = ("qmw.london",)) -> "Network":

@@ -1,0 +1,50 @@
+"""repro.replication — replicated DATALINK file servers.
+
+The paper's architecture stores each simulation's files on the single
+file server nearest to where they were generated; one dead host takes its
+share of the archive offline.  This package removes that single point of
+failure while leaving the SQL/MED surface untouched: every DATALINK URL
+still names one *logical* host, but behind it stand N physical replicas
+with health-checked read failover, asynchronous write replication, and
+anti-entropy repair.
+
+Components:
+
+* :class:`PlacementPolicy` — deterministic rendezvous-hash placement of
+  replicas on physical servers;
+* :class:`ReplicaSet` — the FileServer-shaped facade the DataLinker
+  talks to (primary writes + queued propagation, failover reads,
+  logical-host token scoping);
+* :class:`ReplicationQueue` — ordered op log with per-follower cursors,
+  retry with exponential backoff, bounded-lag metrics;
+* :class:`HealthMonitor` — probe-based up/suspect/down failure detector,
+  wireable to :mod:`repro.netsim` partitions and slow links;
+* :func:`repair_replica_set` / :func:`check_replica_set` — anti-entropy
+  convergence from content-checksum manifests;
+* :class:`ReplicationManager` — the per-deployment coordinator (set
+  construction, background pump, repair, status).
+"""
+
+from repro.replication.health import HealthMonitor
+from repro.replication.manager import ReplicationManager
+from repro.replication.placement import PlacementPolicy
+from repro.replication.queue import ReplicationOp, ReplicationQueue
+from repro.replication.repair import (
+    RepairReport,
+    check_replica_set,
+    repair_replica_set,
+)
+from repro.replication.replicaset import Replica, ReplicaSet
+
+__all__ = [
+    "HealthMonitor",
+    "PlacementPolicy",
+    "RepairReport",
+    "Replica",
+    "ReplicaSet",
+    "ReplicationManager",
+    "ReplicationOp",
+    "ReplicationQueue",
+    "check_replica_set",
+    "repair_replica_set",
+]

@@ -1,0 +1,217 @@
+"""The replication manager: replica sets, placement, health, repair.
+
+One :class:`ReplicationManager` oversees every replicated logical host of
+a deployment.  It
+
+* creates :class:`~repro.replication.replicaset.ReplicaSet` facades
+  (optionally ranking candidates with the deterministic
+  :class:`~repro.replication.placement.PlacementPolicy`) and registers
+  them with the :class:`~repro.datalink.linker.DataLinker` under the
+  logical host name — the rest of the stack keeps talking to "one file
+  server per host";
+* pumps the per-set replication queues, either on demand (:meth:`pump`,
+  :meth:`drain`) or from a background thread (:meth:`start`);
+* runs the :class:`~repro.replication.health.HealthMonitor` over every
+  replica each cycle;
+* exposes :meth:`repair` (anti-entropy) and :meth:`status` for the CLI and
+  the web tier's ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ReplicationError
+from repro.obs import get_observability
+from repro.replication.health import HealthMonitor
+from repro.replication.placement import PlacementPolicy
+from repro.replication.repair import RepairReport, repair_replica_set
+from repro.replication.replicaset import ReplicaSet
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Coordinates every replica set attached to one DataLinker."""
+
+    def __init__(
+        self,
+        linker,
+        replication_factor: int = 2,
+        time_source: Callable[[], float] = time.time,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 5.0,
+        suspect_after: int = 1,
+        down_after: int = 3,
+        latency_suspect_s: float | None = None,
+    ) -> None:
+        self.linker = linker
+        self.placement = PlacementPolicy(replication_factor)
+        self.health = HealthMonitor(
+            suspect_after=suspect_after,
+            down_after=down_after,
+            latency_suspect_s=latency_suspect_s,
+        )
+        self._now = time_source
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.sets: dict[str, ReplicaSet] = {}
+        self._pump_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        linker.replication = self
+
+    # -- set construction --------------------------------------------------------
+
+    def create_replica_set(
+        self,
+        logical_host: str,
+        servers: Sequence,
+        use_placement: bool = True,
+    ) -> ReplicaSet:
+        """Build a replica set for ``logical_host`` from candidate servers
+        and register it with the linker under the logical name.
+
+        With ``use_placement`` the deterministic policy picks
+        ``replication_factor`` members (primary first); otherwise the given
+        order is used verbatim.
+        """
+        if logical_host in self.sets:
+            raise ReplicationError(
+                f"replica set {logical_host!r} already exists"
+            )
+        members = (
+            self.placement.choose(logical_host, servers)
+            if use_placement else list(servers)
+        )
+        replica_set = ReplicaSet(
+            logical_host, members,
+            time_source=self._now,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+        )
+        self.linker.register_server(replica_set)
+        self.sets[logical_host] = replica_set
+        obs = get_observability()
+        if obs.enabled:
+            obs.events.emit(
+                "replication.set.created",
+                set=logical_host,
+                replicas=[r.host for r in replica_set.replicas],
+            )
+        return replica_set
+
+    def replica_set(self, logical_host: str) -> ReplicaSet:
+        try:
+            return self.sets[logical_host]
+        except KeyError:
+            raise ReplicationError(
+                f"no replica set for logical host {logical_host!r}"
+            ) from None
+
+    # -- fault wiring ------------------------------------------------------------
+
+    def attach_network(self, network, origin: str) -> None:
+        """Wire every replica's reachability to a :mod:`repro.netsim`
+        topology: a replica behind a partition (or on a downed host) as
+        seen from ``origin`` becomes unreachable, and the health monitor
+        probes use the simulated link latency instead of wall-clock."""
+        for replica_set in self.sets.values():
+            for replica in replica_set.replicas:
+                host = replica.host
+
+                def reachable(h: str = host) -> bool:
+                    return network.is_reachable(origin, h)
+
+                replica.reachable = reachable
+        self.health.latency_probe = (
+            lambda replica: network.latency_between(origin, replica.host)
+        )
+
+    # -- steady-state operation ---------------------------------------------------
+
+    def pump(self, force: bool = False) -> int:
+        """One replication cycle: probe health, push queued ops."""
+        self.health.probe_all(self.sets.values())
+        return sum(rs.pump(force=force) for rs in self.sets.values())
+
+    def drain(self) -> int:
+        """Push until every follower is caught up (or stops accepting)."""
+        return sum(rs.drain() for rs in self.sets.values())
+
+    def start(self, interval: float = 0.05) -> None:
+        """Run :meth:`pump` on a daemon thread every ``interval`` seconds."""
+        if self._pump_thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self.pump()
+                except Exception:  # noqa: BLE001 - keep the pump alive
+                    obs = get_observability()
+                    if obs.enabled:
+                        obs.metrics.counter("replication.pump.errors").inc()
+
+        self._pump_thread = threading.Thread(
+            target=loop, name="replication-pump", daemon=True
+        )
+        self._pump_thread.start()
+
+    def stop(self) -> None:
+        if self._pump_thread is None:
+            return
+        self._stop.set()
+        self._pump_thread.join(timeout=5.0)
+        self._pump_thread = None
+
+    # -- anti-entropy -------------------------------------------------------------
+
+    def repair(self, logical_host: str | None = None,
+               prune: bool = False) -> list[RepairReport]:
+        """Run an anti-entropy pass over one set (or all of them)."""
+        targets: Iterable[ReplicaSet]
+        if logical_host is not None:
+            targets = [self.replica_set(logical_host)]
+        else:
+            targets = self.sets.values()
+        return [repair_replica_set(rs, prune=prune) for rs in targets]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def status(self) -> dict:
+        sets = {host: rs.status() for host, rs in sorted(self.sets.items())}
+        return {
+            "replication_factor": self.placement.replication_factor,
+            "sets": sets,
+            "total_failovers": sum(s["failovers"] for s in sets.values()),
+            "max_lag": max(
+                (s["max_lag"] for s in sets.values()), default=0
+            ),
+            "health_probes": self.health.probes,
+            "health_transitions": self.health.transitions,
+        }
+
+    def describe(self) -> str:
+        """Human-readable status for ``repro replicas status``."""
+        status = self.status()
+        lines = [
+            f"replication factor {status['replication_factor']}, "
+            f"{len(status['sets'])} replica set(s), "
+            f"max lag {status['max_lag']}, "
+            f"{status['total_failovers']} failover(s)",
+        ]
+        for host, s in status["sets"].items():
+            lines.append(
+                f"{host}: depth={s['queue_depth']} "
+                f"applied={s['ops_applied']}/{s['ops_enqueued']} "
+                f"retries={s['retries']}"
+            )
+            for r in s["replicas"]:
+                lines.append(
+                    f"  {r['role']:<8} {r['host']:<28} {r['status']:<8} "
+                    f"lag={r['lag']} files={r['files']}"
+                )
+        return "\n".join(lines)

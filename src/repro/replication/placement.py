@@ -1,0 +1,54 @@
+"""Deterministic replica placement.
+
+Rendezvous (highest-random-weight) hashing: every (logical host, physical
+server) pair gets a stable score, and the top ``replication_factor``
+servers hold the set's replicas, highest score first (the primary).  The
+choice depends only on the names involved, so every archive node — and
+every rebuild of the same deployment — computes the same placement without
+coordination, and removing one candidate only moves the replicas that
+lived on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.errors import ReplicationError
+
+__all__ = ["PlacementPolicy"]
+
+
+class PlacementPolicy:
+    """Chooses which physical servers back a logical host."""
+
+    def __init__(self, replication_factor: int = 2) -> None:
+        if replication_factor < 1:
+            raise ReplicationError("replication factor must be >= 1")
+        self.replication_factor = replication_factor
+
+    @staticmethod
+    def score(logical_host: str, physical_host: str) -> str:
+        digest = hashlib.sha256(
+            f"{logical_host}|{physical_host}".encode("utf-8")
+        ).hexdigest()
+        return digest
+
+    def choose(self, logical_host: str, candidates: Sequence) -> list:
+        """Pick the replica servers for ``logical_host`` from ``candidates``
+        (FileServer instances), primary first.  Deterministic."""
+        if not candidates:
+            raise ReplicationError(
+                f"no candidate servers for replica set {logical_host!r}"
+            )
+        hosts = [server.host for server in candidates]
+        if len(set(hosts)) != len(hosts):
+            raise ReplicationError(
+                f"candidate servers for {logical_host!r} have duplicate hosts"
+            )
+        ranked = sorted(
+            candidates,
+            key=lambda server: self.score(logical_host, server.host),
+            reverse=True,
+        )
+        return ranked[: self.replication_factor]

@@ -1,0 +1,165 @@
+"""Anti-entropy repair: converge followers on the primary's state.
+
+Asynchronous replication plus failures (partitions, crashes between the
+WAL commit point and the queue push, operators poking a replica's disk)
+lets follower replicas diverge silently.  The repair pass makes the
+divergence visible and fixes it:
+
+1. pull the content-checksum **manifest** of the primary and of each
+   follower (path → sha256 + DATALINK flags, from
+   :meth:`repro.fileserver.filesystem.ServerFileSystem.manifest`);
+2. diff them, producing :class:`~repro.datalink.reconcile.Finding`-shaped
+   findings — ``missing`` (file absent on the follower),
+   ``checksum_mismatch`` (bytes differ), ``stale_flags`` (link-control
+   flags differ), ``extra`` (follower has a file the primary doesn't);
+3. re-sync from the primary over the replication control plane
+   (``dl_put`` / ``dl_set_flags`` / ``dl_remove``) and fast-forward the
+   follower's queue cursor — the backlog is superseded by the full sync.
+
+``extra`` files are reported but only deleted with ``prune=True``:
+dropping data a follower holds and the primary lost is a curator's
+decision, exactly like dangling references in
+:mod:`repro.datalink.reconcile`.
+"""
+
+from __future__ import annotations
+
+from repro.datalink.reconcile import Finding
+from repro.obs import get_observability
+from repro.replication.replicaset import Replica, ReplicaSet
+
+__all__ = ["RepairReport", "check_replica_set", "repair_replica_set"]
+
+
+class RepairReport:
+    """Outcome of one anti-entropy pass over one replica set."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self.findings: list[Finding] = []
+        self.files_checked = 0
+        self.replicas_checked = 0
+        self.repaired = 0
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        lines = [
+            f"replica set {self.host}: checked {self.replicas_checked} "
+            f"follower(s), {self.files_checked} file(s)",
+        ]
+        if self.consistent:
+            lines.append("replicas are checksum-clean")
+        else:
+            lines.append(f"repaired {self.repaired} finding(s)")
+        lines.extend(f.describe() for f in self.findings)
+        return "\n".join(lines)
+
+
+_FLAG_KEYS = ("linked", "read_db", "write_blocked", "recovery")
+
+
+def _diff_replica(host: str, primary_manifest: dict, replica: Replica) -> list[Finding]:
+    findings: list[Finding] = []
+    replica_manifest = replica.server.manifest()
+    for path, truth in primary_manifest.items():
+        mine = replica_manifest.get(path)
+        if mine is None:
+            findings.append(Finding(
+                "missing", replica.host, path,
+                detail=f"present on primary of {host}",
+            ))
+            continue
+        if mine["sha256"] != truth["sha256"]:
+            findings.append(Finding(
+                "checksum_mismatch", replica.host, path,
+                detail=f"{mine['sha256'][:12]} != {truth['sha256'][:12]}",
+            ))
+        if any(mine[k] != truth[k] for k in _FLAG_KEYS):
+            stale = ",".join(k for k in _FLAG_KEYS if mine[k] != truth[k])
+            findings.append(Finding(
+                "stale_flags", replica.host, path, detail=stale,
+            ))
+    for path in replica_manifest:
+        if path not in primary_manifest:
+            findings.append(Finding(
+                "extra", replica.host, path,
+                detail=f"absent on primary of {host}",
+            ))
+    return findings
+
+
+def check_replica_set(replica_set: ReplicaSet) -> RepairReport:
+    """Detect divergence without fixing anything (dry run)."""
+    report = RepairReport(replica_set.host)
+    primary_manifest = replica_set.primary.server.manifest()
+    for replica in replica_set.followers:
+        if not replica.is_connected():
+            report.findings.append(Finding(
+                "unreachable", replica.host, "",
+                detail="skipped: replica not reachable",
+            ))
+            continue
+        report.replicas_checked += 1
+        report.files_checked += len(primary_manifest)
+        report.findings.extend(
+            _diff_replica(replica_set.host, primary_manifest, replica)
+        )
+    return report
+
+
+def repair_replica_set(replica_set: ReplicaSet, prune: bool = False) -> RepairReport:
+    """Detect *and fix* divergence, re-syncing followers from the primary."""
+    report = check_replica_set(replica_set)
+    obs = get_observability()
+    primary_fs = replica_set.primary.server.filesystem
+    touched: set[str] = set()
+    for finding in report.findings:
+        if finding.kind == "unreachable":
+            continue
+        replica = replica_set.replica(finding.host)
+        fs = replica.server.filesystem
+        if finding.kind in ("missing", "checksum_mismatch"):
+            truth = primary_fs.entry(finding.path)
+            fs.dl_put(finding.path, truth.data)
+            fs.dl_set_flags(
+                finding.path,
+                linked=truth.linked, read_db=truth.read_db,
+                write_blocked=truth.write_blocked, recovery=truth.recovery,
+            )
+        elif finding.kind == "stale_flags":
+            truth = primary_fs.entry(finding.path)
+            fs.dl_set_flags(
+                finding.path,
+                linked=truth.linked, read_db=truth.read_db,
+                write_blocked=truth.write_blocked, recovery=truth.recovery,
+            )
+        elif finding.kind == "extra":
+            if not prune:
+                continue  # reported, not deleted — curator's decision
+            fs.dl_remove(finding.path)
+        report.repaired += 1
+        touched.add(replica.host)
+        if obs.enabled:
+            obs.metrics.counter(
+                "replication.repair.fixed",
+                set=replica_set.host, kind=finding.kind,
+            ).inc()
+    # a fully resynced follower no longer needs the queued backlog
+    for host in touched:
+        replica_set.queue.fast_forward(replica_set.replica(host))
+    if obs.enabled:
+        obs.metrics.counter(
+            "replication.repair.passes", set=replica_set.host
+        ).inc()
+        obs.events.emit(
+            "replication.repair",
+            set=replica_set.host,
+            findings=len(report.findings), repaired=report.repaired,
+        )
+    return report

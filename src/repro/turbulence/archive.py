@@ -72,14 +72,21 @@ class TurbulenceArchive:
         users: UserManager,
         simulation_keys: list[str],
         grid: int,
+        replication=None,
     ) -> None:
         self.db = db
         self.linker = linker
+        #: the logical file servers URLs name — plain :class:`FileServer`
+        #: instances, or :class:`~repro.replication.ReplicaSet` facades
+        #: when the archive was built with ``replication_factor > 1``
         self.servers = servers
         self.document = document
         self.users = users
         self.simulation_keys = simulation_keys
         self.grid = grid
+        #: the :class:`~repro.replication.ReplicationManager`, or None for
+        #: an unreplicated deployment
+        self.replication = replication
 
     def make_engine(self, sandbox_root: str, **kwargs) -> OperationEngine:
         """An operation engine over this archive, with the SDB URL service
@@ -121,17 +128,40 @@ def build_turbulence_archive(
     seed: int = 7,
     token_validity: float = 600.0,
     time_source: Callable[[], float] = time.time,
+    replication_factor: int = 1,
 ) -> TurbulenceArchive:
-    """Assemble the archive.  Deterministic for a given parameter set."""
+    """Assemble the archive.  Deterministic for a given parameter set.
+
+    With ``replication_factor > 1`` each logical file server becomes a
+    replica set over that many physical hosts (``fs1-a.soton.ac.uk``,
+    ``fs1-b.soton.ac.uk``, ...): DATALINK URLs still name the logical
+    host, reads fail over, and writes replicate asynchronously.
+    """
     tokens = TokenManager(
         secret=b"easia-shared-secret", validity_seconds=token_validity,
         time_source=time_source,
     )
     linker = DataLinker(tokens)
-    servers = [
-        linker.register_server(FileServer(f"fs{i + 1}.soton.ac.uk"))
-        for i in range(n_file_servers)
-    ]
+    replication = None
+    if replication_factor > 1:
+        from repro.replication import ReplicationManager
+
+        replication = ReplicationManager(
+            linker, replication_factor, time_source=time_source
+        )
+        servers = []
+        for i in range(n_file_servers):
+            logical = f"fs{i + 1}.soton.ac.uk"
+            physical = [
+                FileServer(f"fs{i + 1}-{chr(ord('a') + j)}.soton.ac.uk")
+                for j in range(replication_factor)
+            ]
+            servers.append(replication.create_replica_set(logical, physical))
+    else:
+        servers = [
+            linker.register_server(FileServer(f"fs{i + 1}.soton.ac.uk"))
+            for i in range(n_file_servers)
+        ]
     db = Database()
     db.set_datalink_hooks(linker)
     create_turbulence_schema(db)
@@ -221,8 +251,13 @@ def build_turbulence_archive(
 
     document = _build_document(db, grid)
     users = _build_users()
+    if replication is not None:
+        # the build wrote through the primaries; catch the followers up so
+        # the archive starts with zero replication lag
+        replication.drain()
     return TurbulenceArchive(
-        db, linker, servers, document, users, simulation_keys, grid
+        db, linker, servers, document, users, simulation_keys, grid,
+        replication=replication,
     )
 
 

@@ -595,6 +595,24 @@ class EasiaApp:
         lines.append(f"datalink.links_applied.total {self.linker.links_applied}")
         lines.append(f"datalink.unlinks_applied.total {self.linker.unlinks_applied}")
         lines.append(f"datalink.tokens_issued.total {self.linker.tokens.issued_count}")
+        replication = getattr(self.linker, "replication", None)
+        if replication is not None:
+            status = replication.status()
+            lines.append(f"replication.sets {len(status['sets'])}")
+            lines.append(f"replication.max_lag {status['max_lag']}")
+            lines.append(
+                f"replication.failovers.total {status['total_failovers']}"
+            )
+            for host, s in status["sets"].items():
+                lines.append(
+                    f'replication.queue.depth{{set="{host}"}} '
+                    f"{s['queue_depth']}"
+                )
+                lines.append(f'replication.lag{{set="{host}"}} {s["max_lag"]}')
+                up = sum(1 for r in s["replicas"] if r["status"] == "up")
+                lines.append(
+                    f'replication.replicas_up{{set="{host}"}} {up}'
+                )
         body = "\n".join(line for line in lines if line) + "\n"
         return Response.data(body.encode("utf-8"), "text/plain")
 

@@ -299,6 +299,7 @@ class ServletContainer:
         files: Mapping[str, bytes] | None,
     ) -> Response:
         from repro.errors import (
+            AllReplicasDownError,
             AuthorizationError,
             LockTimeout,
             OperationError,
@@ -326,6 +327,10 @@ class ServletContainer:
         except LockTimeout as exc:
             # pool exhausted, or the writer lock stayed contended past the
             # timeout: the server is busy, not the request wrong
+            return Response.error(str(exc), 503)
+        except AllReplicasDownError as exc:
+            # replicated downloads fail over transparently; only the loss
+            # of *every* replica of a logical host surfaces as an error
             return Response.error(str(exc), 503)
         except (ReproError, OperationError) as exc:
             return Response.error(str(exc), 400)

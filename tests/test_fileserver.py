@@ -1,5 +1,7 @@
 """Unit tests for the file-server substrate."""
 
+import threading
+
 import pytest
 
 from repro.datalink import TokenManager
@@ -195,3 +197,127 @@ class TestFileServer:
         server.filesystem.dl_link("/f", read_db=True, write_blocked=True, recovery=False)
         with pytest.raises(TokenError):
             server.serve("/f", token="anything.x")
+
+    def test_counters_thread_safe(self):
+        """Concurrent serves must not lose counter increments."""
+        server, _tm, _ = self.make()
+        threads_n, serves_each = 8, 200
+
+        def hammer():
+            for _ in range(serves_each):
+                server.serve("/data/f.dat")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * serves_each
+        assert server.requests == total
+        assert server.bytes_served == total * len(b"payload")
+
+    def test_denied_counter_thread_safe(self):
+        server, _tm, _ = self.make()
+        server.dl_link("/data/f.dat", read_db=True, write_blocked=True, recovery=False)
+        threads_n, serves_each = 8, 100
+
+        def hammer():
+            for _ in range(serves_each):
+                with pytest.raises(PermissionDeniedError):
+                    server.serve("/data/f.dat")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert server.denied == threads_n * serves_each
+
+
+class TestTokenizedPathParsing:
+    """The ``/dir/token;name`` splitting in ``FileServer.serve``."""
+
+    def make(self):
+        tm = TokenManager(secret=b"s", validity_seconds=60.0,
+                          time_source=lambda: 0.0)
+        return FileServer("fs1.example.org", token_manager=tm), tm
+
+    def test_split_plain_path_untouched(self):
+        assert FileServer._split_tokenized("/data/f.dat") == ("/data/f.dat", None)
+
+    def test_split_tokenized_path(self):
+        path, token = FileServer._split_tokenized("/data/3c.ab_C-1;f.dat")
+        assert path == "/data/f.dat"
+        assert token == "3c.ab_C-1"
+
+    def test_no_directory_separator(self):
+        """A bare ``token;name`` (no '/') must still split correctly."""
+        server, tm = self.make()
+        server.put("f.dat", b"top-level")
+        server.dl_link("/f.dat", read_db=True, write_blocked=True, recovery=False)
+        token = tm.issue("fs1.example.org/f.dat")
+        assert server.serve(f"{token};f.dat") == b"top-level"
+
+    def test_semicolon_filename_is_not_a_token(self):
+        """A filename containing ';' with no token prefix must not be
+        mis-split into a bogus token plus the wrong path."""
+        server, _tm = self.make()
+        server.put("/data/a;b.dat", b"odd name")
+        assert server.serve("/data/a;b.dat") == b"odd name"
+
+    def test_semicolon_filename_shape_check(self):
+        # 'a' does not match the <expiry-hex>.<base64url> token shape
+        assert FileServer._split_tokenized("/data/a;b.dat") == ("/data/a;b.dat", None)
+        # trailing ';' leaves an empty filename: not tokenized either
+        assert FileServer._split_tokenized("/data/f.dat;") == ("/data/f.dat;", None)
+
+    def test_real_token_with_semicolon_filename(self):
+        """Tokenized access to a file whose name itself contains ';'."""
+        server, tm = self.make()
+        server.put("/data/a;b.dat", b"odd name")
+        server.dl_link("/data/a;b.dat", read_db=True, write_blocked=True,
+                       recovery=False)
+        token = tm.issue("fs1.example.org/data/a;b.dat")
+        assert server.serve(f"/data/{token};a;b.dat") == b"odd name"
+
+
+class TestManifest:
+    """Content checksums powering replication's anti-entropy repair."""
+
+    def test_entry_sha256_tracks_content(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"one")
+        first = fs.checksum("/a")
+        fs.write("/a", b"two")
+        assert fs.checksum("/a") != first
+
+    def test_manifest_contents(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"12")
+        fs.write("/b", b"345")
+        fs.dl_link("/b", read_db=True, write_blocked=True, recovery=True)
+        manifest = fs.manifest()
+        assert sorted(manifest) == ["/a", "/b"]
+        assert manifest["/b"]["linked"] is True
+        assert manifest["/b"]["read_db"] is True
+        assert manifest["/a"]["size"] == 2
+        assert manifest["/a"]["sha256"] == fs.checksum("/a")
+
+    def test_dl_put_bypasses_write_blocked(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"old")
+        fs.dl_link("/a", read_db=True, write_blocked=True, recovery=True)
+        with pytest.raises(FileLockedError):
+            fs.write("/a", b"new")
+        fs.dl_put("/a", b"new")
+        assert fs.read("/a") == b"new"
+        assert fs.entry("/a").linked  # flags untouched
+
+    def test_dl_remove_bypasses_link_control(self):
+        fs = ServerFileSystem()
+        fs.write("/a", b"x")
+        fs.dl_link("/a", read_db=True, write_blocked=True, recovery=True)
+        with pytest.raises(FileLockedError):
+            fs.delete("/a")
+        fs.dl_remove("/a")
+        assert not fs.exists("/a")
